@@ -1,0 +1,27 @@
+//! # beacon — two-phase BGP beacons (§4 of the paper)
+//!
+//! Conventional BGP beacons announce and withdraw a prefix at a constant
+//! rate. That is useless for probing RFD: a constant flap would keep every
+//! damping router's penalty above threshold forever, hiding the very
+//! re-advertisement behaviour that identifies RFD. The paper's *two-phase*
+//! beacons instead alternate:
+//!
+//! * **Burst** — alternating withdrawals and announcements at a fixed
+//!   *update interval*, *starting with a withdrawal and ending with an
+//!   announcement* (so that a damped route's stored state is "announced"
+//!   and its eventual release produces a visible re-advertisement);
+//! * **Break** — silence long enough for every damping router's penalty
+//!   to decay below the reuse threshold.
+//!
+//! Each site also runs an **anchor prefix** flapping every two hours (the
+//! RIPE beacon schedule) as a propagation-delay control (Fig. 8).
+//!
+//! Announcement events are stamped into the aggregator attribute by the
+//! simulator (mirroring the paper's timestamp encoding), so collectors can
+//! attribute updates to beacon events.
+
+pub mod campaign;
+pub mod schedule;
+
+pub use campaign::{Campaign, SiteCampaign};
+pub use schedule::{AnchorSchedule, BeaconEvent, BeaconEventKind, BeaconSchedule, Phase};

@@ -1,0 +1,96 @@
+//! MCMC kernels: MH sweeps vs HMC trajectories (the §3.2 comparison),
+//! plus the prior-sensitivity and step-count ablations from DESIGN.md.
+
+use bench::synthetic_paths;
+use because::chain::Sampler;
+use because::hmc::Hmc;
+use because::mh::MetropolisHastings;
+use because::Prior;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::SimRng;
+use std::hint::black_box;
+
+fn bench_mh_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mh_sweep");
+    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000)] {
+        let data = synthetic_paths(nodes, paths, 0.2, 10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{paths}p")),
+            &(),
+            |b, _| {
+                let mut rng = SimRng::new(1);
+                let mut s = MetropolisHastings::from_prior(&data, Prior::default(), &mut rng);
+                b.iter(|| {
+                    s.step(&mut rng);
+                    black_box(s.state()[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hmc_trajectory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmc_trajectory");
+    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000)] {
+        let data = synthetic_paths(nodes, paths, 0.2, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{paths}p")),
+            &(),
+            |b, _| {
+                let mut rng = SimRng::new(2);
+                let mut s = Hmc::from_prior(&data, Prior::default(), &mut rng);
+                b.iter(|| {
+                    s.step(&mut rng);
+                    black_box(s.state()[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hmc_leapfrog_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmc_leapfrog_steps");
+    let data = synthetic_paths(100, 500, 0.2, 12);
+    for &steps in &[5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let mut rng = SimRng::new(3);
+            let mut s = Hmc::from_prior(&data, Prior::default(), &mut rng)
+                .with_leapfrog_steps(steps);
+            b.iter(|| {
+                s.step(&mut rng);
+                black_box(s.state()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prior_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mh_prior_sensitivity");
+    let data = synthetic_paths(100, 500, 0.2, 13);
+    let priors = [
+        ("uniform", Prior::Uniform),
+        ("beta_1_4", Prior::Beta { alpha: 1.0, beta: 4.0 }),
+        ("beta_2_2", Prior::Beta { alpha: 2.0, beta: 2.0 }),
+    ];
+    for (name, prior) in priors {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let mut rng = SimRng::new(4);
+            let mut s = MetropolisHastings::from_prior(&data, prior, &mut rng);
+            b.iter(|| {
+                s.step(&mut rng);
+                black_box(s.state()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mh_sweep, bench_hmc_trajectory, bench_hmc_leapfrog_ablation, bench_prior_ablation
+);
+criterion_main!(benches);

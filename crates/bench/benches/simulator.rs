@@ -1,0 +1,136 @@
+//! Discrete-event simulator throughput: event-queue operations, BGP
+//! convergence, and a full Burst propagation — the substrate cost behind
+//! every figure.
+
+use bgpsim::{AsId, NetworkConfig, Prefix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{EventQueue, SimTime};
+use std::hint::black_box;
+use topology::{generate, TopologyConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random but deterministic times.
+                q.schedule_at(SimTime::from_millis(i.wrapping_mul(2654435761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgp_convergence");
+    group.sample_size(10);
+    for &(transit, stub) in &[(20usize, 50usize), (80, 200)] {
+        let config = TopologyConfig {
+            n_transit: transit,
+            n_stub: stub,
+            ..TopologyConfig::default_with_seed(5)
+        };
+        let topo = generate(&config);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}as", topo.len())),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut net = topo.instantiate(
+                        NetworkConfig { jitter: 0.3, seed: 5, ..Default::default() },
+                        |_, _, pol| pol,
+                    );
+                    net.schedule_announce(SimTime::ZERO, topo.beacon_sites[0], pfx, true);
+                    net.run_to_quiescence();
+                    black_box(net.delivered())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beacon_burst");
+    group.sample_size(10);
+    let config = TopologyConfig { n_transit: 40, n_stub: 100, ..TopologyConfig::default_with_seed(6) };
+    let topo = generate(&config);
+    let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+    let site = topo.beacon_sites[0];
+    group.bench_function("one_2h_burst_1min", |b| {
+        b.iter(|| {
+            let mut net = topo.instantiate(
+                NetworkConfig { jitter: 0.3, seed: 6, ..Default::default() },
+                |_, _, pol| pol,
+            );
+            let schedule = beacon::BeaconSchedule::standard(
+                pfx,
+                site,
+                netsim::SimDuration::from_mins(1),
+                netsim::SimDuration::from_hours(2),
+                SimTime::ZERO,
+                1,
+            );
+            schedule.apply(&mut net);
+            net.run_to_quiescence();
+            black_box(net.events_processed())
+        })
+    });
+    group.finish();
+}
+
+fn bench_rfd_state(c: &mut Criterion) {
+    use bgpsim::rfd::{FlapKind, RfdState};
+    use bgpsim::VendorProfile;
+    let mut group = c.benchmark_group("rfd_state_machine");
+    let params = VendorProfile::Juniper.params();
+    group.bench_function("record_1k_flaps", |b| {
+        b.iter(|| {
+            let mut s = RfdState::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..1000 {
+                let kind =
+                    if i % 2 == 0 { FlapKind::Withdrawal } else { FlapKind::Readvertisement };
+                black_box(s.record(kind, t, &params));
+                t = t + netsim::SimDuration::from_secs(30);
+            }
+            black_box(s.penalty_at(t, &params))
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    for &n in &[300usize, 1000] {
+        let config = TopologyConfig {
+            n_transit: n / 4,
+            n_stub: n - n / 4 - 13,
+            ..TopologyConfig::default_with_seed(7)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
+            b.iter(|| black_box(generate(config).len()))
+        });
+    }
+    group.finish();
+}
+
+// Silence the unused-import lint for AsId (used in type signatures only on
+// some configurations).
+#[allow(dead_code)]
+fn _touch(_: AsId) {}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default();
+    targets = bench_event_queue, bench_convergence, bench_burst, bench_rfd_state, bench_topology_generation
+);
+criterion_main!(benches);

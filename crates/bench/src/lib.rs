@@ -1,0 +1,30 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Each bench target mirrors one computational kernel behind the paper's
+//! tables and figures: the likelihood evaluation and its incremental
+//! variant (the MH inner loop), whole MH sweeps and HMC trajectories, the
+//! discrete-event simulator, signature labeling, and the end-to-end
+//! pipeline. Sizes are kept moderate so the suite completes on a single
+//! core; scale via the `REPRO_SCALE` environment variable where noted.
+
+use because::{NodeId, PathData, PathObservation};
+use netsim::SimRng;
+
+/// A synthetic tomography dataset: `n_nodes` ASs, `n_paths` random paths
+/// of length 2–6, a `show_share` of them labeled as showing the property.
+pub fn synthetic_paths(n_nodes: u32, n_paths: usize, show_share: f64, seed: u64) -> PathData {
+    let mut rng = SimRng::new(seed).split("bench-paths");
+    let mut observations = Vec::with_capacity(n_paths);
+    for _ in 0..n_paths {
+        let len = 2 + rng.index(5);
+        let nodes: Vec<NodeId> =
+            (0..len).map(|_| NodeId(1 + rng.below(u64::from(n_nodes)) as u32)).collect();
+        observations.push(PathObservation::new(nodes, rng.chance(show_share)));
+    }
+    PathData::from_observations(&observations, &[])
+}
+
+/// A mid-point probability vector for likelihood benches.
+pub fn mid_p(data: &PathData) -> Vec<f64> {
+    vec![0.3; data.num_nodes()]
+}

@@ -1,0 +1,129 @@
+//! The BGP decision process.
+//!
+//! Given every *usable* candidate route for a prefix (one per neighbor,
+//! with suppressed and looped routes already excluded), pick the best by
+//! the standard ladder:
+//!
+//! 1. highest local preference (from the business relationship:
+//!    customer > peer > provider);
+//! 2. shortest AS path (prepending counts);
+//! 3. lowest neighbor AS number (deterministic tie-break, standing in for
+//!    the IGP/router-id steps of real implementations).
+//!
+//! A locally-originated route always wins — the simulator handles that in
+//! the router before consulting this module.
+
+use crate::message::AsId;
+use crate::policy::Relationship;
+use crate::rib::Route;
+
+/// One candidate in the decision process.
+#[derive(Clone, Debug)]
+pub struct Candidate<'a> {
+    /// The neighbor the route was learned from.
+    pub neighbor: AsId,
+    /// Relationship of that neighbor (determines local preference).
+    pub relationship: Relationship,
+    /// The route itself.
+    pub route: &'a Route,
+}
+
+impl Candidate<'_> {
+    /// Lexicographic preference key: *larger is better*.
+    /// (local_pref ↑, path length ↓, neighbor ASN ↓)
+    fn key(&self) -> (u32, isize, i64) {
+        (
+            self.relationship.local_pref(),
+            -(self.route.path.len() as isize),
+            -i64::from(self.neighbor.0),
+        )
+    }
+}
+
+/// Select the best route among candidates; `None` when empty.
+pub fn select_best<'a>(candidates: impl IntoIterator<Item = Candidate<'a>>) -> Option<Candidate<'a>> {
+    candidates.into_iter().max_by(|a, b| a.key().cmp(&b.key()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::AsPath;
+
+    fn route_with_len(len: usize) -> Route {
+        let path: AsPath = (0..len as u32).map(|i| AsId(1000 + i)).collect();
+        Route { path, aggregator: None }
+    }
+
+    fn cand(neighbor: u32, rel: Relationship, route: &Route) -> Candidate<'_> {
+        Candidate { neighbor: AsId(neighbor), relationship: rel, route }
+    }
+
+    #[test]
+    fn empty_input_selects_nothing() {
+        assert!(select_best(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn customer_beats_shorter_provider_path() {
+        let long = route_with_len(5);
+        let short = route_with_len(1);
+        let best = select_best(vec![
+            cand(1, Relationship::Customer, &long),
+            cand(2, Relationship::Provider, &short),
+        ])
+        .unwrap();
+        assert_eq!(best.neighbor, AsId(1), "local-pref dominates path length");
+    }
+
+    #[test]
+    fn shorter_path_wins_within_same_pref() {
+        let long = route_with_len(4);
+        let short = route_with_len(2);
+        let best = select_best(vec![
+            cand(9, Relationship::Peer, &long),
+            cand(1, Relationship::Peer, &short),
+        ])
+        .unwrap();
+        assert_eq!(best.neighbor, AsId(1));
+    }
+
+    #[test]
+    fn lowest_neighbor_id_breaks_full_ties() {
+        let a = route_with_len(3);
+        let b = route_with_len(3);
+        let best = select_best(vec![
+            cand(700, Relationship::Peer, &a),
+            cand(30, Relationship::Peer, &b),
+        ])
+        .unwrap();
+        assert_eq!(best.neighbor, AsId(30));
+    }
+
+    #[test]
+    fn prepending_counts_against_path() {
+        let plain = route_with_len(3);
+        let prepended = Route {
+            path: route_with_len(2).path.prepend(AsId(77), 3), // length 5
+            aggregator: None,
+        };
+        let best = select_best(vec![
+            cand(1, Relationship::Peer, &prepended),
+            cand(2, Relationship::Peer, &plain),
+        ])
+        .unwrap();
+        assert_eq!(best.neighbor, AsId(2));
+    }
+
+    #[test]
+    fn peer_beats_provider() {
+        let a = route_with_len(3);
+        let b = route_with_len(3);
+        let best = select_best(vec![
+            cand(1, Relationship::Provider, &a),
+            cand(2, Relationship::Peer, &b),
+        ])
+        .unwrap();
+        assert_eq!(best.neighbor, AsId(2));
+    }
+}

@@ -1,0 +1,591 @@
+//! The simulated inter-domain network: routers, links, and the event loop.
+//!
+//! [`Network`] owns one [`Router`] per AS, a directed link-delay map, and a
+//! [`netsim::EventQueue`]. It drives the simulation by popping events and
+//! feeding them to the pure router state machines, translating each
+//! [`crate::router::RouterOutput`] back into scheduled events:
+//!
+//! * `sends` become [`NetEvent::Deliver`] after the link delay (jittered,
+//!   but never reordered within a directed link — BGP sessions run over
+//!   TCP, so per-session FIFO order is preserved by clamping);
+//! * MRAI and RFD timer requests become timer events;
+//! * Loc-RIB changes at *tapped* ASs (the vantage points) are appended to
+//!   the tap log, which the `collector` crate turns into update dumps.
+//!
+//! Beacon origination is scheduled with [`Network::schedule_announce`] /
+//! [`Network::schedule_withdraw`]; announcements scheduled with
+//! `stamp: true` carry an [`AggregatorStamp`] of their fire time, exactly
+//! like the paper's beacons encode send timestamps in the aggregator
+//! attribute.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::message::{AggregatorStamp, AsId, BgpUpdate};
+use crate::policy::SessionPolicy;
+use crate::prefix::Prefix;
+use crate::rib::Route;
+use crate::router::Router;
+
+/// Global network parameters.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Link delay used when `connect` is called without an explicit delay.
+    pub default_link_delay: SimDuration,
+    /// Multiplicative jitter: each delivery takes `delay × (1 + U[0, jitter])`.
+    pub jitter: f64,
+    /// Per-hop router processing/batching delay, drawn uniformly from
+    /// this inclusive range and added to every delivery. Real BGP update
+    /// propagation is dominated by per-router batching (scan timers,
+    /// update pacing), not wire latency — this is what gives the paper's
+    /// Fig. 8 its seconds-scale propagation times. Defaults to zero so
+    /// protocol-level tests stay exact.
+    pub processing_delay: (SimDuration, SimDuration),
+    /// Seed for the network's private randomness (jitter only).
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_link_delay: SimDuration::from_millis(100),
+            jitter: 0.5,
+            processing_delay: (SimDuration::ZERO, SimDuration::ZERO),
+            seed: 0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A configuration with realistic per-hop processing delays
+    /// (0.5 – 8 s), matching the propagation-time scale the paper
+    /// measures against the RIPE beacons.
+    pub fn realistic(seed: u64) -> Self {
+        NetworkConfig {
+            processing_delay: (SimDuration::from_millis(500), SimDuration::from_secs(8)),
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Events understood by the network driver.
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// Deliver `update` from `from` to `to` (already delayed).
+    Deliver {
+        /// Sending AS.
+        from: AsId,
+        /// Receiving AS.
+        to: AsId,
+        /// The update on the wire.
+        update: BgpUpdate,
+    },
+    /// An MRAI gate for (router, peer, prefix) may reopen.
+    MraiExpire {
+        /// Router owning the gate.
+        router: AsId,
+        /// The neighbor the gate throttles.
+        peer: AsId,
+        /// Gated prefix.
+        prefix: Prefix,
+    },
+    /// An RFD reuse check for (router, peer, prefix).
+    RfdReuse {
+        /// Router owning the damping state.
+        router: AsId,
+        /// Session the state belongs to.
+        peer: AsId,
+        /// Damped prefix.
+        prefix: Prefix,
+    },
+    /// A locally-scheduled origination (beacon announcement).
+    Originate {
+        /// Originating AS.
+        router: AsId,
+        /// Prefix to announce.
+        prefix: Prefix,
+        /// Whether to stamp the aggregator attribute with the fire time.
+        stamp: bool,
+    },
+    /// A locally-scheduled withdrawal (beacon withdrawal).
+    WithdrawOrigin {
+        /// Originating AS.
+        router: AsId,
+        /// Prefix to withdraw.
+        prefix: Prefix,
+    },
+}
+
+/// One observation at a vantage point: the VP's best route for a beacon
+/// prefix changed. `route: None` records a withdrawal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TapRecord {
+    /// The vantage-point AS.
+    pub vantage: AsId,
+    /// When the VP's Loc-RIB changed (before collector export delay).
+    pub time: SimTime,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// The new best route in the VP's exported view, `None` on withdrawal.
+    pub route: Option<Route>,
+}
+
+/// The simulated network.
+pub struct Network {
+    routers: BTreeMap<AsId, Router>,
+    delays: BTreeMap<(AsId, AsId), SimDuration>,
+    queue: EventQueue<NetEvent>,
+    taps: BTreeSet<AsId>,
+    tap_log: Vec<TapRecord>,
+    rng: SimRng,
+    config: NetworkConfig,
+    /// Last scheduled delivery per directed link, to preserve TCP FIFO.
+    link_horizon: BTreeMap<(AsId, AsId), SimTime>,
+    delivered: u64,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new(config: NetworkConfig) -> Self {
+        let rng = SimRng::new(config.seed).split("network-jitter");
+        Network {
+            routers: BTreeMap::new(),
+            delays: BTreeMap::new(),
+            queue: EventQueue::new(),
+            taps: BTreeSet::new(),
+            tap_log: Vec::new(),
+            rng,
+            config,
+            link_horizon: BTreeMap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Add a router for `asn` (no-op if it exists).
+    pub fn add_router(&mut self, asn: AsId) {
+        self.routers.entry(asn).or_insert_with(|| Router::new(asn));
+    }
+
+    /// Connect `a` and `b` with the given per-side session policies and a
+    /// symmetric link delay. Policies are *from each side's perspective*:
+    /// `policy_at_a` is how `a` treats neighbor `b`.
+    pub fn connect(
+        &mut self,
+        a: AsId,
+        b: AsId,
+        policy_at_a: SessionPolicy,
+        policy_at_b: SessionPolicy,
+        delay: Option<SimDuration>,
+    ) {
+        assert_ne!(a, b, "self-link");
+        debug_assert_eq!(
+            policy_at_a.relationship,
+            policy_at_b.relationship.reversed(),
+            "inconsistent relationship on link {a}–{b}"
+        );
+        self.add_router(a);
+        self.add_router(b);
+        let d = delay.unwrap_or(self.config.default_link_delay);
+        self.delays.insert((a, b), d);
+        self.delays.insert((b, a), d);
+        self.routers.get_mut(&a).expect("added").add_session(b, policy_at_a);
+        self.routers.get_mut(&b).expect("added").add_session(a, policy_at_b);
+    }
+
+    /// Mark `asn` as a vantage point whose Loc-RIB changes are recorded.
+    pub fn attach_tap(&mut self, asn: AsId) {
+        assert!(self.routers.contains_key(&asn), "tap on unknown {asn}");
+        self.taps.insert(asn);
+    }
+
+    /// Immutable access to a router.
+    pub fn router(&self, asn: AsId) -> Option<&Router> {
+        self.routers.get(&asn)
+    }
+
+    /// Mutable access to a router (for test instrumentation).
+    pub fn router_mut(&mut self, asn: AsId) -> Option<&mut Router> {
+        self.routers.get_mut(&asn)
+    }
+
+    /// All AS numbers in the network.
+    pub fn as_ids(&self) -> Vec<AsId> {
+        self.routers.keys().copied().collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of BGP updates delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total events processed by the queue.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Schedule an origination (announcement) of `prefix` at `router`.
+    /// With `stamp`, the announcement carries an aggregator timestamp equal
+    /// to the fire time — the beacon convention.
+    pub fn schedule_announce(&mut self, at: SimTime, router: AsId, prefix: Prefix, stamp: bool) {
+        self.queue.schedule_at(at, NetEvent::Originate { router, prefix, stamp });
+    }
+
+    /// Schedule a withdrawal of a locally-originated `prefix`.
+    pub fn schedule_withdraw(&mut self, at: SimTime, router: AsId, prefix: Prefix) {
+        self.queue.schedule_at(at, NetEvent::WithdrawOrigin { router, prefix });
+    }
+
+    /// Run until the queue is empty or the clock passes `until`.
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some((now, ev)) = self.queue.pop_until(until) {
+            self.dispatch(now, ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until the queue fully drains (converged network).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Take the accumulated tap log, leaving it empty.
+    pub fn take_tap_log(&mut self) -> Vec<TapRecord> {
+        std::mem::take(&mut self.tap_log)
+    }
+
+    /// Read-only view of the tap log.
+    pub fn tap_log(&self) -> &[TapRecord] {
+        &self.tap_log
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: NetEvent) {
+        let (router_id, output) = match ev {
+            NetEvent::Deliver { from, to, update } => {
+                self.delivered += 1;
+                let Some(r) = self.routers.get_mut(&to) else { return };
+                (to, r.handle_update(from, update, now))
+            }
+            NetEvent::MraiExpire { router, peer, prefix } => {
+                let Some(r) = self.routers.get_mut(&router) else { return };
+                (router, r.mrai_expired(peer, prefix, now))
+            }
+            NetEvent::RfdReuse { router, peer, prefix } => {
+                let Some(r) = self.routers.get_mut(&router) else { return };
+                (router, r.rfd_reuse_fired(peer, prefix, now))
+            }
+            NetEvent::Originate { router, prefix, stamp } => {
+                let Some(r) = self.routers.get_mut(&router) else { return };
+                let aggregator = stamp.then(|| AggregatorStamp::new(now));
+                (router, r.originate(prefix, aggregator, now))
+            }
+            NetEvent::WithdrawOrigin { router, prefix } => {
+                let Some(r) = self.routers.get_mut(&router) else { return };
+                (router, r.withdraw_origin(prefix, now))
+            }
+        };
+
+        // Translate the router's requests into events.
+        for (peer, update) in output.sends {
+            let delivery = self.delivery_time(router_id, peer, now);
+            self.queue.schedule_at(delivery, NetEvent::Deliver {
+                from: router_id,
+                to: peer,
+                update,
+            });
+        }
+        for (peer, prefix, at) in output.mrai_timers {
+            self.queue.schedule_at(at.max(now), NetEvent::MraiExpire {
+                router: router_id,
+                peer,
+                prefix,
+            });
+        }
+        for (peer, prefix, at) in output.rfd_timers {
+            self.queue.schedule_at(at.max(now), NetEvent::RfdReuse {
+                router: router_id,
+                peer,
+                prefix,
+            });
+        }
+        if let Some(change) = output.loc_rib_change {
+            if self.taps.contains(&router_id) {
+                self.tap_log.push(TapRecord {
+                    vantage: router_id,
+                    time: now,
+                    prefix: change.prefix,
+                    route: change.route,
+                });
+            }
+        }
+    }
+
+    /// Jittered delivery time that preserves per-link FIFO order.
+    fn delivery_time(&mut self, from: AsId, to: AsId, now: SimTime) -> SimTime {
+        let base = self
+            .delays
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.default_link_delay);
+        let jitter = 1.0 + self.config.jitter * self.rng.uniform();
+        let (proc_lo, proc_hi) = self.config.processing_delay;
+        let processing = if proc_hi > proc_lo {
+            proc_lo
+                + SimDuration::from_millis(
+                    self.rng.below((proc_hi - proc_lo).as_millis().max(1)),
+                )
+        } else {
+            proc_lo
+        };
+        let mut t = now + base.mul_f64(jitter) + processing;
+        let horizon = self.link_horizon.entry((from, to)).or_insert(SimTime::ZERO);
+        if t < *horizon {
+            t = *horizon;
+        }
+        *horizon = t;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Relationship;
+    use crate::rfd::VendorProfile;
+    use crate::router::Selection;
+
+    fn pfx() -> Prefix {
+        "10.0.7.0/24".parse().unwrap()
+    }
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig {
+            default_link_delay: SimDuration::from_millis(50),
+            jitter: 0.0,
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Line topology: 10 ← 20 ← 30 (20 is provider of 10, 30 provider of 20).
+    fn line() -> Network {
+        let mut net = Network::new(cfg());
+        net.connect(
+            AsId(10),
+            AsId(20),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer),
+            None,
+        );
+        net.connect(
+            AsId(20),
+            AsId(30),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer),
+            None,
+        );
+        net
+    }
+
+    #[test]
+    fn announcement_propagates_up_the_chain() {
+        let mut net = line();
+        net.attach_tap(AsId(30));
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.run_to_quiescence();
+        // AS30 selected the route through 20 → 10.
+        match net.router(AsId(30)).unwrap().best(pfx()) {
+            Some(Selection::Learned { route, .. }) => {
+                assert_eq!(
+                    route.path.asns(),
+                    &[AsId(20), AsId(10)],
+                    "customer chain path"
+                );
+            }
+            other => panic!("expected learned route, got {other:?}"),
+        }
+        // The tap recorded one announcement with the VP's ASN prepended.
+        let log = net.tap_log();
+        assert_eq!(log.len(), 1);
+        let rec = &log[0];
+        assert_eq!(rec.vantage, AsId(30));
+        let route = rec.route.as_ref().unwrap();
+        assert_eq!(route.path.asns(), &[AsId(30), AsId(20), AsId(10)]);
+        assert!(route.aggregator.unwrap().valid);
+        assert_eq!(route.aggregator.unwrap().sent_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn withdrawal_propagates_and_is_logged() {
+        let mut net = line();
+        net.attach_tap(AsId(30));
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.schedule_withdraw(SimTime::from_mins(1), AsId(10), pfx());
+        net.run_to_quiescence();
+        assert!(net.router(AsId(30)).unwrap().best(pfx()).is_none());
+        let log = net.tap_log();
+        assert_eq!(log.len(), 2);
+        assert!(log[1].route.is_none(), "second record is the withdrawal");
+    }
+
+    #[test]
+    fn propagation_delay_accumulates_per_hop() {
+        let mut net = line();
+        net.attach_tap(AsId(30));
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.run_to_quiescence();
+        let rec = &net.tap_log()[0];
+        // Two hops at exactly 50 ms (jitter 0).
+        assert_eq!(rec.time, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn fifo_preserved_on_links() {
+        // With jitter on, deliveries on one link must never reorder.
+        let mut net = Network::new(NetworkConfig {
+            default_link_delay: SimDuration::from_millis(80),
+            jitter: 2.0,
+            seed: 42,
+            ..Default::default()
+        });
+        net.connect(
+            AsId(1),
+            AsId(2),
+            SessionPolicy::plain(Relationship::Peer),
+            SessionPolicy::plain(Relationship::Peer),
+            None,
+        );
+        net.attach_tap(AsId(2));
+        // Rapid alternation. If any withdrawal overtook its announcement,
+        // the tap log would end announced instead of withdrawn.
+        for i in 0..50u64 {
+            net.schedule_announce(SimTime::from_millis(i * 20), AsId(1), pfx(), false);
+            net.schedule_withdraw(SimTime::from_millis(i * 20 + 10), AsId(1), pfx());
+        }
+        net.run_to_quiescence();
+        let log = net.tap_log();
+        assert!(!log.is_empty());
+        // Log alternates strictly announce/withdraw (dedup at AS2's RIB
+        // guarantees this only if arrival order was FIFO).
+        for w in log.windows(2) {
+            assert_ne!(w[0].route.is_some(), w[1].route.is_some(), "must alternate");
+        }
+        assert!(log.last().unwrap().route.is_none());
+    }
+
+    #[test]
+    fn rfd_on_middle_as_damps_the_chain() {
+        // 10 ← 20 ← 30 with AS30 damping its session to 20 (Cisco).
+        let mut net = Network::new(cfg());
+        net.connect(
+            AsId(10),
+            AsId(20),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer),
+            None,
+        );
+        net.connect(
+            AsId(20),
+            AsId(30),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer)
+                .with_rfd(VendorProfile::Cisco.params()),
+            None,
+        );
+        net.attach_tap(AsId(30));
+
+        // Beacon burst: flap every minute for 2 h, ending on an announce.
+        let mut t = SimTime::ZERO;
+        for i in 0..120u64 {
+            if i % 2 == 0 {
+                net.schedule_withdraw(SimTime::from_mins(i), AsId(10), pfx());
+            } else {
+                net.schedule_announce(SimTime::from_mins(i), AsId(10), pfx(), true);
+            }
+            t = SimTime::from_mins(i);
+        }
+        let burst_end = t;
+        net.run_to_quiescence();
+
+        assert!(
+            !net.router(AsId(30)).unwrap().is_suppressed(AsId(20), pfx()),
+            "suppression must have been released at quiescence"
+        );
+        // The last tap record must be the delayed re-advertisement, well
+        // after the burst end (RFD signature, r-delta ≫ 5 min).
+        let log = net.tap_log();
+        let last = log.last().unwrap();
+        assert!(last.route.is_some(), "burst ends on announce → re-advertised");
+        let r_delta = last.time.saturating_since(burst_end);
+        assert!(
+            r_delta > SimDuration::from_mins(5),
+            "r-delta should exceed 5 min, got {r_delta}"
+        );
+        assert!(
+            r_delta <= VendorProfile::Cisco.params().max_suppress_time + SimDuration::from_mins(1),
+            "release within max-suppress-time, got {r_delta}"
+        );
+        // And during the burst, AS30 saw far fewer updates than the 120
+        // beacon events (damping hid them).
+        let during_burst = log.iter().filter(|r| r.time <= burst_end + SimDuration::from_mins(1)).count();
+        assert!(
+            during_burst < 60,
+            "damping must thin the update stream, saw {during_burst}"
+        );
+    }
+
+    #[test]
+    fn no_rfd_chain_sees_every_flap() {
+        let mut net = line();
+        net.attach_tap(AsId(30));
+        for i in 0..20u64 {
+            if i % 2 == 0 {
+                net.schedule_withdraw(SimTime::from_mins(i), AsId(10), pfx());
+            } else {
+                net.schedule_announce(SimTime::from_mins(i), AsId(10), pfx(), true);
+            }
+        }
+        net.run_to_quiescence();
+        // 10 withdrawals (first is duplicate: nothing announced yet) and
+        // 10 announcements → 19 Loc-RIB changes at the VP.
+        assert_eq!(net.tap_log().len(), 19);
+    }
+
+    #[test]
+    fn multihomed_stub_triggers_path_hunting() {
+        // 1 (origin) ← 2 and 1 ← 3; 2 and 3 both customers of 4.
+        // When 2's session to 1 withdraws, 4 should hunt to the 3-path.
+        let mut net = Network::new(cfg());
+        let cust = SessionPolicy::plain(Relationship::Customer);
+        let prov = SessionPolicy::plain(Relationship::Provider);
+        net.connect(AsId(1), AsId(2), prov, cust, Some(SimDuration::from_millis(10)));
+        net.connect(AsId(1), AsId(3), prov, cust, Some(SimDuration::from_millis(500)));
+        net.connect(AsId(2), AsId(4), prov, cust, Some(SimDuration::from_millis(10)));
+        net.connect(AsId(3), AsId(4), prov, cust, Some(SimDuration::from_millis(10)));
+        net.attach_tap(AsId(4));
+        net.schedule_announce(SimTime::ZERO, AsId(1), pfx(), false);
+        net.run_to_quiescence();
+        let withdrawal_at = net.now() + SimDuration::from_secs(10);
+        net.schedule_withdraw(withdrawal_at, AsId(1), pfx());
+        net.run_to_quiescence();
+        let log = net.tap_log();
+        // Sequence at AS4: announce (via 2, faster), maybe announce (via 3
+        // after tie-up), then on withdrawal: hunt to the other path before
+        // the final withdrawal arrives.
+        assert!(log.last().unwrap().route.is_none(), "eventually withdrawn");
+        let hunts = log
+            .iter()
+            .filter(|r| r.time > withdrawal_at && r.route.is_some())
+            .count();
+        assert!(hunts >= 1, "expected at least one alternative-path announcement");
+    }
+}

@@ -1,0 +1,220 @@
+//! Business relationships, export rules and per-session configuration.
+//!
+//! Inter-domain routing policy in the simulator follows the standard
+//! Gao–Rexford model: every BGP session is either *customer–provider* or
+//! *peer–peer*, routers prefer customer routes over peer routes over
+//! provider routes, and a route learned from a peer or provider is only
+//! exported to customers ("valley-free" routing). This matches the paper's
+//! topology reasoning — e.g. §6.1 explains missed dampers by noting that
+//! beacon signals placed near Tier-1s travel provider→customer or
+//! peer→peer, so an AS damping *only customers* is invisible.
+//!
+//! Per-session knobs live in [`SessionPolicy`]: inbound RFD (optionally
+//! limited to a prefix-length range — §2.1 mentions operators damping
+//! different prefix lengths differently), outbound MRAI, and outbound
+//! prepending. Per-session RFD is what lets an experiment deploy the
+//! paper's *inconsistently damping* AS-701 analogue (damp every neighbor
+//! except one).
+
+use serde::{Deserialize, Serialize};
+
+use netsim::SimDuration;
+
+use crate::prefix::Prefix;
+use crate::rfd::RfdParams;
+
+/// The business relationship of a neighbor, *from the local AS's
+/// perspective*: `Customer` means "this neighbor is my customer".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor pays the local AS for transit.
+    Customer,
+    /// Settlement-free peering.
+    Peer,
+    /// The local AS pays the neighbor for transit.
+    Provider,
+}
+
+impl Relationship {
+    /// The relationship as seen from the other end of the session.
+    pub fn reversed(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Provider => Relationship::Customer,
+        }
+    }
+
+    /// Local preference assigned to routes learned from this neighbor:
+    /// customer (100) > peer (90) > provider (80).
+    pub fn local_pref(self) -> u32 {
+        match self {
+            Relationship::Customer => 100,
+            Relationship::Peer => 90,
+            Relationship::Provider => 80,
+        }
+    }
+}
+
+/// Gao–Rexford export filter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ExportPolicy;
+
+impl ExportPolicy {
+    /// May a route learned from `learned_from` be exported to a neighbor
+    /// with relationship `export_to`? Locally-originated routes pass
+    /// `None` for `learned_from` and are exported to everyone.
+    pub fn permits(learned_from: Option<Relationship>, export_to: Relationship) -> bool {
+        match learned_from {
+            // Own routes and customer routes go to everyone.
+            None | Some(Relationship::Customer) => true,
+            // Peer/provider routes go only to customers.
+            Some(Relationship::Peer) | Some(Relationship::Provider) => {
+                export_to == Relationship::Customer
+            }
+        }
+    }
+}
+
+/// Inclusive prefix-length bounds for applying RFD on a session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PrefixLenRange {
+    /// Minimum prefix length (inclusive).
+    pub min: u8,
+    /// Maximum prefix length (inclusive).
+    pub max: u8,
+}
+
+impl PrefixLenRange {
+    /// The full range — damp every prefix length.
+    pub const ALL: PrefixLenRange = PrefixLenRange { min: 0, max: 32 };
+
+    /// True if `prefix` falls inside the range.
+    pub fn contains(self, prefix: Prefix) -> bool {
+        (self.min..=self.max).contains(&prefix.len())
+    }
+}
+
+/// Configuration of one directed session (how the local router treats one
+/// neighbor).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SessionPolicy {
+    /// Business relationship of the neighbor.
+    pub relationship: Relationship,
+    /// Inbound route flap damping on this session, if enabled.
+    pub rfd: Option<RfdParams>,
+    /// Prefix lengths the RFD config applies to.
+    pub rfd_prefix_lens: PrefixLenRange,
+    /// Outbound MRAI interval for announcements, if enabled.
+    pub mrai: Option<SimDuration>,
+    /// Extra copies of the local ASN prepended on export (0 = none beyond
+    /// the mandatory one).
+    pub prepend_extra: usize,
+}
+
+impl SessionPolicy {
+    /// A plain session with the given relationship: no RFD, no MRAI.
+    pub fn plain(relationship: Relationship) -> Self {
+        SessionPolicy {
+            relationship,
+            rfd: None,
+            rfd_prefix_lens: PrefixLenRange::ALL,
+            mrai: None,
+            prepend_extra: 0,
+        }
+    }
+
+    /// Enable inbound RFD with the given parameters.
+    pub fn with_rfd(mut self, params: RfdParams) -> Self {
+        self.rfd = Some(params);
+        self
+    }
+
+    /// Enable outbound MRAI.
+    pub fn with_mrai(mut self, interval: SimDuration) -> Self {
+        self.mrai = Some(interval);
+        self
+    }
+
+    /// Restrict RFD to a prefix-length range.
+    pub fn with_rfd_prefix_lens(mut self, range: PrefixLenRange) -> Self {
+        self.rfd_prefix_lens = range;
+        self
+    }
+
+    /// The RFD parameters that apply to `prefix` on this session, if any.
+    pub fn rfd_for(&self, prefix: Prefix) -> Option<&RfdParams> {
+        match &self.rfd {
+            Some(p) if self.rfd_prefix_lens.contains(prefix) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rfd::VendorProfile;
+
+    #[test]
+    fn reversed_is_involutive() {
+        for r in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+            assert_eq!(r.reversed().reversed(), r);
+        }
+        assert_eq!(Relationship::Customer.reversed(), Relationship::Provider);
+        assert_eq!(Relationship::Peer.reversed(), Relationship::Peer);
+    }
+
+    #[test]
+    fn local_pref_ordering() {
+        assert!(Relationship::Customer.local_pref() > Relationship::Peer.local_pref());
+        assert!(Relationship::Peer.local_pref() > Relationship::Provider.local_pref());
+    }
+
+    #[test]
+    fn gao_rexford_export_matrix() {
+        use Relationship::*;
+        // Customer routes and own routes go everywhere.
+        for to in [Customer, Peer, Provider] {
+            assert!(ExportPolicy::permits(Some(Customer), to));
+            assert!(ExportPolicy::permits(None, to));
+        }
+        // Peer/provider routes only to customers.
+        for from in [Peer, Provider] {
+            assert!(ExportPolicy::permits(Some(from), Customer));
+            assert!(!ExportPolicy::permits(Some(from), Peer));
+            assert!(!ExportPolicy::permits(Some(from), Provider));
+        }
+    }
+
+    #[test]
+    fn prefix_len_range_filters_rfd() {
+        let pol = SessionPolicy::plain(Relationship::Peer)
+            .with_rfd(VendorProfile::Cisco.params())
+            .with_rfd_prefix_lens(PrefixLenRange { min: 20, max: 24 });
+        let p24: Prefix = "10.0.0.0/24".parse().unwrap();
+        let p16: Prefix = "10.0.0.0/16".parse().unwrap();
+        assert!(pol.rfd_for(p24).is_some());
+        assert!(pol.rfd_for(p16).is_none());
+    }
+
+    #[test]
+    fn plain_session_has_no_rfd_or_mrai() {
+        let pol = SessionPolicy::plain(Relationship::Provider);
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert!(pol.rfd_for(p).is_none());
+        assert!(pol.mrai.is_none());
+        assert_eq!(pol.prepend_extra, 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let pol = SessionPolicy::plain(Relationship::Customer)
+            .with_rfd(VendorProfile::Juniper.params())
+            .with_mrai(SimDuration::from_secs(30));
+        assert!(pol.rfd.is_some());
+        assert_eq!(pol.mrai, Some(SimDuration::from_secs(30)));
+        let any: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert!(pol.rfd_for(any).is_some());
+    }
+}

@@ -1,0 +1,725 @@
+//! A BGP-speaking router for one AS.
+//!
+//! [`Router`] is a *pure* state machine: it never touches the event queue.
+//! Every entry point (an incoming update, a timer expiry, a local
+//! origination) returns a [`RouterOutput`] describing what must happen
+//! next — messages to put on the wire, timers to arm, and the Loc-RIB
+//! change (if any) for vantage-point taps. The [`crate::network::Network`]
+//! driver translates those into scheduled events. Keeping the router pure
+//! makes the RFD/MRAI interactions unit-testable without a simulator.
+//!
+//! Processing pipeline for an incoming update (mirroring RFC 4271 + 2439):
+//!
+//! 1. receiver-side loop detection (a path containing the local ASN is
+//!    treated as unfeasible, i.e. an implicit withdrawal);
+//! 2. Adj-RIB-In update + flap classification (initial / duplicate /
+//!    attribute change / re-advertisement / withdrawal);
+//! 3. RFD penalty accounting on the (prefix, session), possibly
+//!    suppressing or releasing the route;
+//! 4. decision process over all usable candidates;
+//! 5. export diffing against the per-neighbor Adj-RIB-Out under the
+//!    Gao–Rexford filter, with MRAI gating on announcements.
+
+use std::collections::BTreeMap;
+
+use netsim::SimTime;
+
+use crate::decision::{select_best, Candidate};
+use crate::message::{AggregatorStamp, AsId, AsPath, BgpAction, BgpUpdate};
+use crate::mrai::{MraiGate, MraiVerdict};
+use crate::policy::{ExportPolicy, SessionPolicy};
+use crate::prefix::Prefix;
+use crate::rfd::{FlapKind, RfdTransition};
+use crate::rib::{AdjRibIn, Route};
+
+/// What a router selected for a prefix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Selection {
+    /// The prefix is locally originated.
+    Local {
+        /// The stamp the origination carries.
+        aggregator: Option<AggregatorStamp>,
+    },
+    /// Best route learned from a neighbor.
+    Learned {
+        /// The neighbor it was learned from.
+        neighbor: AsId,
+        /// The route as received.
+        route: Route,
+    },
+}
+
+impl Selection {
+    /// The route as this router would describe it to an observer peering
+    /// with it (own ASN prepended) — the view a route collector records.
+    pub fn exported_view(&self, own: AsId) -> Route {
+        match self {
+            Selection::Local { aggregator } => Route {
+                path: AsPath::from_slice(&[own]),
+                aggregator: *aggregator,
+            },
+            Selection::Learned { route, .. } => Route {
+                path: route.path.prepend(own, 1),
+                aggregator: route.aggregator,
+            },
+        }
+    }
+}
+
+/// A Loc-RIB change, reported so vantage-point taps can record it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocRibChange {
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// The new best route in exported view (`None` = prefix unreachable).
+    pub route: Option<Route>,
+}
+
+/// Everything a router wants done after processing one input.
+#[derive(Debug, Default)]
+pub struct RouterOutput {
+    /// Updates to deliver to neighbors (after link delay).
+    pub sends: Vec<(AsId, BgpUpdate)>,
+    /// MRAI expiry timers to arm: (peer, prefix, fire-at).
+    pub mrai_timers: Vec<(AsId, Prefix, SimTime)>,
+    /// RFD reuse timers to arm: (peer, prefix, fire-at).
+    pub rfd_timers: Vec<(AsId, Prefix, SimTime)>,
+    /// The Loc-RIB change, if the best route moved.
+    pub loc_rib_change: Option<LocRibChange>,
+}
+
+impl RouterOutput {
+    fn merge(&mut self, mut other: RouterOutput) {
+        self.sends.append(&mut other.sends);
+        self.mrai_timers.append(&mut other.mrai_timers);
+        self.rfd_timers.append(&mut other.rfd_timers);
+        if other.loc_rib_change.is_some() {
+            self.loc_rib_change = other.loc_rib_change;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Neighbor {
+    policy: SessionPolicy,
+    adj_in: AdjRibIn,
+    adj_out: BTreeMap<Prefix, Route>,
+    mrai: MraiGate,
+}
+
+/// One AS's router.
+#[derive(Debug)]
+pub struct Router {
+    asn: AsId,
+    neighbors: BTreeMap<AsId, Neighbor>,
+    originated: BTreeMap<Prefix, Option<AggregatorStamp>>,
+    loc_rib: BTreeMap<Prefix, Selection>,
+}
+
+impl Router {
+    /// A router for the given AS with no sessions.
+    pub fn new(asn: AsId) -> Self {
+        Router {
+            asn,
+            neighbors: BTreeMap::new(),
+            originated: BTreeMap::new(),
+            loc_rib: BTreeMap::new(),
+        }
+    }
+
+    /// This router's AS number.
+    pub fn asn(&self) -> AsId {
+        self.asn
+    }
+
+    /// Add (or reconfigure) a session to `peer`.
+    pub fn add_session(&mut self, peer: AsId, policy: SessionPolicy) {
+        assert_ne!(peer, self.asn, "cannot peer with self");
+        let mrai = MraiGate::new(policy.mrai);
+        self.neighbors.insert(peer, Neighbor { policy, adj_in: AdjRibIn::new(), adj_out: BTreeMap::new(), mrai });
+    }
+
+    /// The session policy towards `peer`, if a session exists.
+    pub fn session_policy(&self, peer: AsId) -> Option<&SessionPolicy> {
+        self.neighbors.get(&peer).map(|n| &n.policy)
+    }
+
+    /// All neighbor ASNs (deterministic order).
+    pub fn neighbor_ids(&self) -> Vec<AsId> {
+        self.neighbors.keys().copied().collect()
+    }
+
+    /// The current best selection for `prefix`, if reachable.
+    pub fn best(&self, prefix: Prefix) -> Option<&Selection> {
+        self.loc_rib.get(&prefix)
+    }
+
+    /// Whether the route from `peer` for `prefix` is currently suppressed.
+    pub fn is_suppressed(&self, peer: AsId, prefix: Prefix) -> bool {
+        self.neighbors
+            .get(&peer)
+            .and_then(|n| n.adj_in.get(prefix))
+            .map(|e| e.rfd.is_suppressed())
+            .unwrap_or(false)
+    }
+
+    /// Current RFD penalty on (peer, prefix) at `now`, if RFD is enabled.
+    pub fn rfd_penalty(&self, peer: AsId, prefix: Prefix, now: SimTime) -> Option<f64> {
+        let n = self.neighbors.get(&peer)?;
+        let params = n.policy.rfd_for(prefix)?;
+        Some(n.adj_in.get(prefix).map(|e| e.rfd.penalty_at(now, params)).unwrap_or(0.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Process an update received from `from`.
+    pub fn handle_update(&mut self, from: AsId, update: BgpUpdate, now: SimTime) -> RouterOutput {
+        let Some(neighbor) = self.neighbors.get_mut(&from) else {
+            // Session gone (not modelled as an error — deliveries may race
+            // a reconfiguration in principle).
+            return RouterOutput::default();
+        };
+        let prefix = update.prefix;
+
+        // 1. Loop detection: a path carrying our ASN makes the route
+        //    unfeasible — treat as withdrawal, without an RFD penalty
+        //    (RFC 2439 penalises route *changes*, and an unfeasible
+        //    announcement never enters the RIB).
+        let action = match update.action {
+            BgpAction::Announce { ref path, .. } if path.contains(self.asn) => BgpAction::Withdraw,
+            other => other,
+        };
+
+        // 2. Adj-RIB-In + flap classification.
+        let (kind, rib_changed) = match action {
+            BgpAction::Announce { path, aggregator } => {
+                neighbor.adj_in.apply_announce(prefix, Route { path, aggregator }, now)
+            }
+            BgpAction::Withdraw => neighbor.adj_in.apply_withdraw(prefix, now),
+        };
+
+        // 3. RFD penalty accounting.
+        let mut out = RouterOutput::default();
+        let mut usability_changed = rib_changed;
+        if let Some(params) = neighbor.policy.rfd_for(prefix).copied() {
+            if kind != FlapKind::Duplicate {
+                let entry = neighbor.adj_in.entry(prefix);
+                match entry.rfd.record(kind, now, &params) {
+                    RfdTransition::Suppressed => {
+                        let at = entry.rfd.release_at(&params).expect("suppressed has release time");
+                        out.rfd_timers.push((from, prefix, at));
+                        usability_changed = true;
+                    }
+                    RfdTransition::Released => usability_changed = true,
+                    RfdTransition::StillSuppressed => {
+                        // The route stays invisible; the armed timer will
+                        // re-check and re-arm as needed. Nothing visible
+                        // changed downstream.
+                        usability_changed = false;
+                    }
+                    RfdTransition::StillUsable => {}
+                }
+            } else if neighbor.adj_in.get(prefix).map(|e| e.rfd.is_suppressed()).unwrap_or(false) {
+                usability_changed = false;
+            }
+        }
+
+        if usability_changed {
+            out.merge(self.reselect(prefix, now));
+        }
+        out
+    }
+
+    /// An RFD reuse timer fired for (peer, prefix).
+    pub fn rfd_reuse_fired(&mut self, peer: AsId, prefix: Prefix, now: SimTime) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        let Some(neighbor) = self.neighbors.get_mut(&peer) else {
+            return out;
+        };
+        let Some(params) = neighbor.policy.rfd_for(prefix).copied() else {
+            return out;
+        };
+        let Some(entry) = neighbor.adj_in.get_mut(prefix) else {
+            return out;
+        };
+        if entry.rfd.tick(now, &params) {
+            // Released: the stored route (if any) becomes usable again.
+            out.merge(self.reselect(prefix, now));
+        } else if entry.rfd.is_suppressed() {
+            // Flaps while suppressed pushed the release time out; re-arm.
+            // The new deadline must be strictly in the future: exp2/log2
+            // rounding can make `release_at` lag `now` by an ulp while the
+            // decayed penalty still reads a hair above the reuse
+            // threshold, and re-arming at `now` would livelock the event
+            // loop.
+            let at = entry
+                .rfd
+                .release_at(&params)
+                .expect("still suppressed")
+                .max(now + netsim::SimDuration::from_millis(1));
+            out.rfd_timers.push((peer, prefix, at));
+        }
+        out
+    }
+
+    /// An MRAI timer fired for (peer, prefix): flush the coalesced update.
+    pub fn mrai_expired(&mut self, peer: AsId, prefix: Prefix, now: SimTime) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        if let Some(neighbor) = self.neighbors.get_mut(&peer) {
+            if let Some(update) = neighbor.mrai.expire(prefix, now) {
+                out.sends.push((peer, update));
+            }
+        }
+        out
+    }
+
+    /// Originate (announce) `prefix` locally, with an optional beacon stamp.
+    pub fn originate(
+        &mut self,
+        prefix: Prefix,
+        aggregator: Option<AggregatorStamp>,
+        now: SimTime,
+    ) -> RouterOutput {
+        self.originated.insert(prefix, aggregator);
+        self.reselect(prefix, now)
+    }
+
+    /// Withdraw a locally-originated prefix.
+    pub fn withdraw_origin(&mut self, prefix: Prefix, now: SimTime) -> RouterOutput {
+        self.originated.remove(&prefix);
+        self.reselect(prefix, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Decision + export
+    // ------------------------------------------------------------------
+
+    /// Re-run the decision process for `prefix` and export any change.
+    fn reselect(&mut self, prefix: Prefix, now: SimTime) -> RouterOutput {
+        let new = self.compute_best(prefix);
+        let old = self.loc_rib.get(&prefix);
+        if old == new.as_ref() {
+            return RouterOutput::default();
+        }
+        match new.clone() {
+            Some(sel) => self.loc_rib.insert(prefix, sel),
+            None => self.loc_rib.remove(&prefix),
+        };
+
+        let mut out = RouterOutput::default();
+        out.loc_rib_change = Some(LocRibChange {
+            prefix,
+            route: new.as_ref().map(|s| s.exported_view(self.asn)),
+        });
+        out.merge(self.export(prefix, new.as_ref(), now));
+        out
+    }
+
+    fn compute_best(&self, prefix: Prefix) -> Option<Selection> {
+        if let Some(aggregator) = self.originated.get(&prefix) {
+            return Some(Selection::Local { aggregator: *aggregator });
+        }
+        let candidates = self.neighbors.iter().filter_map(|(&asn, n)| {
+            let entry = n.adj_in.get(prefix)?;
+            let route = entry.usable()?;
+            // Defensive loop check (sender-side split horizon should make
+            // this unreachable, but policy bugs must not loop forever).
+            if route.path.contains(self.asn) {
+                return None;
+            }
+            Some(Candidate { neighbor: asn, relationship: n.policy.relationship, route })
+        });
+        select_best(candidates).map(|c| Selection::Learned {
+            neighbor: c.neighbor,
+            route: c.route.clone(),
+        })
+    }
+
+    /// Diff the desired advertisement against each neighbor's Adj-RIB-Out
+    /// and emit the needed updates through the MRAI gate.
+    fn export(&mut self, prefix: Prefix, selection: Option<&Selection>, now: SimTime) -> RouterOutput {
+        let own = self.asn;
+        // Who did we learn the best route from (split horizon), and what
+        // relationship was it learned over (Gao–Rexford)?
+        let (learned_from, learned_rel) = match selection {
+            Some(Selection::Learned { neighbor, .. }) => {
+                let rel = self.neighbors[neighbor].policy.relationship;
+                (Some(*neighbor), Some(rel))
+            }
+            _ => (None, None),
+        };
+
+        let mut out = RouterOutput::default();
+        for (&peer, neighbor) in &mut self.neighbors {
+            // Desired route towards this peer.
+            let desired: Option<Route> = match selection {
+                None => None,
+                Some(sel) => {
+                    if learned_from == Some(peer) {
+                        None // split horizon: never advertise back
+                    } else if !ExportPolicy::permits(learned_rel, neighbor.policy.relationship) {
+                        None
+                    } else {
+                        let base = sel.exported_view(own);
+                        let extra = neighbor.policy.prepend_extra;
+                        Some(Route {
+                            path: if extra > 0 { base.path.prepend(own, extra) } else { base.path },
+                            aggregator: base.aggregator,
+                        })
+                    }
+                }
+            };
+
+            let current = neighbor.adj_out.get(&prefix);
+            if current == desired.as_ref() {
+                continue;
+            }
+            let update = match &desired {
+                Some(route) => BgpUpdate::announce(prefix, route.path.clone(), route.aggregator),
+                None => {
+                    if current.is_none() {
+                        continue; // never advertised, nothing to withdraw
+                    }
+                    BgpUpdate::withdraw(prefix)
+                }
+            };
+            match desired {
+                Some(route) => {
+                    neighbor.adj_out.insert(prefix, route);
+                }
+                None => {
+                    neighbor.adj_out.remove(&prefix);
+                }
+            }
+            match neighbor.mrai.submit(update, now) {
+                MraiVerdict::SendNow(u) => out.sends.push((peer, u)),
+                MraiVerdict::Deferred { at, arm } => {
+                    if arm {
+                        out.mrai_timers.push((peer, prefix, at));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Relationship;
+    use crate::rfd::VendorProfile;
+    use netsim::SimDuration;
+
+    fn pfx() -> Prefix {
+        "10.0.0.0/24".parse().unwrap()
+    }
+
+    fn plain(rel: Relationship) -> SessionPolicy {
+        SessionPolicy::plain(rel)
+    }
+
+    /// Router AS1 with customer AS2 and provider AS3.
+    fn sample_router() -> Router {
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer));
+        r.add_session(AsId(3), plain(Relationship::Provider));
+        r
+    }
+
+    fn announce_from(origin: u32) -> BgpUpdate {
+        BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(origin)]), None)
+    }
+
+    #[test]
+    fn origination_exports_to_all_neighbors() {
+        let mut r = sample_router();
+        let out = r.originate(pfx(), Some(AggregatorStamp::new(SimTime::ZERO)), SimTime::ZERO);
+        assert_eq!(out.sends.len(), 2);
+        for (_, u) in &out.sends {
+            match &u.action {
+                BgpAction::Announce { path, aggregator } => {
+                    assert_eq!(path.asns(), &[AsId(1)]);
+                    assert!(aggregator.is_some());
+                }
+                _ => panic!("expected announce"),
+            }
+        }
+        assert!(matches!(r.best(pfx()), Some(Selection::Local { .. })));
+    }
+
+    #[test]
+    fn learned_route_prepends_own_asn_on_export() {
+        let mut r = sample_router();
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        // Learned from customer → export to provider AS3 (not back to AS2).
+        assert_eq!(out.sends.len(), 1);
+        let (to, u) = &out.sends[0];
+        assert_eq!(*to, AsId(3));
+        match &u.action {
+            BgpAction::Announce { path, .. } => assert_eq!(path.asns(), &[AsId(1), AsId(2)]),
+            _ => panic!("expected announce"),
+        }
+    }
+
+    #[test]
+    fn provider_route_not_exported_to_other_provider_or_peer() {
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Provider));
+        r.add_session(AsId(3), plain(Relationship::Provider));
+        r.add_session(AsId(4), plain(Relationship::Peer));
+        r.add_session(AsId(5), plain(Relationship::Customer));
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        let dests: Vec<AsId> = out.sends.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dests, vec![AsId(5)], "provider route goes only to customers");
+    }
+
+    #[test]
+    fn withdrawal_retracts_only_where_advertised() {
+        let mut r = sample_router();
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        let out = r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), SimTime::from_secs(1));
+        assert_eq!(out.sends.len(), 1);
+        let (to, u) = &out.sends[0];
+        assert_eq!(*to, AsId(3));
+        assert!(matches!(u.action, BgpAction::Withdraw));
+        assert!(r.best(pfx()).is_none());
+    }
+
+    #[test]
+    fn duplicate_withdrawal_is_silent() {
+        let mut r = sample_router();
+        let out = r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), SimTime::ZERO);
+        assert!(out.sends.is_empty());
+        assert!(out.loc_rib_change.is_none());
+    }
+
+    #[test]
+    fn path_hunting_switches_to_alternative() {
+        // AS1 has two customers advertising the same prefix.
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer));
+        r.add_session(AsId(4), plain(Relationship::Customer));
+        r.add_session(AsId(3), plain(Relationship::Provider));
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        r.handle_update(
+            AsId(4),
+            BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(4), AsId(9)]), None),
+            SimTime::from_secs(1),
+        );
+        // Best is AS2 (shorter). Withdraw it → switch to AS4's longer path
+        // and *announce* (not withdraw) to the provider: path hunting.
+        // The best change also retracts the old advertisement towards AS4
+        // (now the learning neighbor) and offers the new best to AS2.
+        let out = r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), SimTime::from_secs(2));
+        let to_provider: Vec<_> = out.sends.iter().filter(|(to, _)| *to == AsId(3)).collect();
+        assert_eq!(to_provider.len(), 1);
+        match &to_provider[0].1.action {
+            BgpAction::Announce { path, .. } => {
+                assert_eq!(path.asns(), &[AsId(1), AsId(4), AsId(9)]);
+            }
+            _ => panic!("expected alternative-path announce"),
+        }
+        // Split horizon: the new advertisement never goes back to AS4.
+        assert!(out
+            .sends
+            .iter()
+            .filter(|(to, _)| *to == AsId(4))
+            .all(|(_, u)| matches!(u.action, BgpAction::Withdraw)));
+    }
+
+    #[test]
+    fn looped_announcement_treated_as_withdrawal() {
+        let mut r = sample_router();
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        // AS2 now (bogusly) sends a path containing AS1.
+        let looped = BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(2), AsId(1)]), None);
+        let out = r.handle_update(AsId(2), looped, SimTime::from_secs(1));
+        assert!(r.best(pfx()).is_none());
+        assert!(out.sends.iter().any(|(_, u)| matches!(u.action, BgpAction::Withdraw)));
+    }
+
+    #[test]
+    fn rfd_suppression_withdraws_downstream_and_releases_later() {
+        let params = VendorProfile::Cisco.params();
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer).with_rfd(params));
+        r.add_session(AsId(3), plain(Relationship::Provider));
+
+        let mut now = SimTime::ZERO;
+        let mut suppressed_at = None;
+        // Flap until suppression: W/A alternating every 60 s.
+        for i in 0..40 {
+            let out = if i % 2 == 0 {
+                r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), now)
+            } else {
+                r.handle_update(AsId(2), announce_from(2), now)
+            };
+            if let Some(&(_, _, at)) = out.rfd_timers.first() {
+                suppressed_at = Some((now, at));
+                break;
+            }
+            now = now + SimDuration::from_secs(60);
+        }
+        let (t_supp, t_release) = suppressed_at.expect("suppression must trigger");
+        assert!(r.is_suppressed(AsId(2), pfx()));
+        assert!(t_release > t_supp + SimDuration::from_mins(10));
+
+        // While suppressed, further updates do not propagate downstream.
+        let out = r.handle_update(AsId(2), announce_from(2), t_supp + SimDuration::from_secs(60));
+        assert!(out.sends.is_empty(), "suppressed flaps must not export");
+
+        // The reuse timer may need re-arming (the extra flap above pushed
+        // release later); follow the chain until release.
+        let mut fire_at = t_release;
+        let mut released = false;
+        for _ in 0..10 {
+            let out = r.rfd_reuse_fired(AsId(2), pfx(), fire_at);
+            if let Some(&(_, _, at)) = out.rfd_timers.first() {
+                fire_at = at;
+                continue;
+            }
+            // Released: the stored announcement re-exports downstream.
+            released = true;
+            assert!(
+                out.sends.iter().any(|(to, u)| *to == AsId(3) && u.action.is_announce()),
+                "release must re-advertise"
+            );
+            break;
+        }
+        assert!(released, "route must eventually be released");
+        assert!(!r.is_suppressed(AsId(2), pfx()));
+    }
+
+    #[test]
+    fn reuse_timer_rearm_chain_terminates_and_moves_forward() {
+        // Regression: firing the reuse timer early must re-arm at a
+        // strictly later instant (float rounding in the decay/inverse
+        // pair once produced `release_at == now` with the route still
+        // suppressed, livelocking the event loop).
+        let params = VendorProfile::Juniper.params();
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer).with_rfd(params));
+        r.add_session(AsId(3), plain(Relationship::Provider));
+        let mut now = SimTime::ZERO;
+        while !r.is_suppressed(AsId(2), pfx()) {
+            r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), now);
+            now = now + SimDuration::from_secs(30);
+            r.handle_update(AsId(2), announce_from(2), now);
+            now = now + SimDuration::from_secs(30);
+        }
+        // Fire deliberately early, then follow the re-arm chain.
+        let mut fire_at = now + SimDuration::from_secs(1);
+        for _ in 0..100_000 {
+            let out = r.rfd_reuse_fired(AsId(2), pfx(), fire_at);
+            match out.rfd_timers.first() {
+                Some(&(_, _, at)) => {
+                    assert!(at > fire_at, "re-arm must move forward: {at} vs {fire_at}");
+                    fire_at = at;
+                }
+                None => {
+                    assert!(!r.is_suppressed(AsId(2), pfx()));
+                    return;
+                }
+            }
+        }
+        panic!("re-arm chain did not terminate");
+    }
+
+    #[test]
+    fn rfd_only_applies_to_configured_session() {
+        let params = VendorProfile::Juniper.params();
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Peer).with_rfd(params));
+        r.add_session(AsId(4), plain(Relationship::Peer));
+        r.add_session(AsId(3), plain(Relationship::Customer));
+
+        let mut now = SimTime::ZERO;
+        for i in 0..30 {
+            let (u2, u4) = if i % 2 == 0 {
+                (BgpUpdate::withdraw(pfx()), BgpUpdate::withdraw(pfx()))
+            } else {
+                (
+                    announce_from(2),
+                    BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(4)]), None),
+                )
+            };
+            r.handle_update(AsId(2), u2, now);
+            r.handle_update(AsId(4), u4, now);
+            now = now + SimDuration::from_secs(60);
+        }
+        assert!(r.is_suppressed(AsId(2), pfx()));
+        assert!(!r.is_suppressed(AsId(4), pfx()));
+        // The undamped session still provides a best route.
+        assert!(matches!(
+            r.best(pfx()),
+            Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(4)
+        ));
+    }
+
+    #[test]
+    fn mrai_defers_rapid_announcements() {
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer));
+        r.add_session(
+            AsId(3),
+            plain(Relationship::Provider).with_mrai(SimDuration::from_secs(30)),
+        );
+        // First announce passes.
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        assert_eq!(out.sends.len(), 1);
+        // Attribute change 5 s later defers (gate closed).
+        let changed = BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(2), AsId(9)]), None);
+        let out = r.handle_update(AsId(2), changed, SimTime::from_secs(5));
+        assert!(out.sends.is_empty());
+        assert_eq!(out.mrai_timers.len(), 1);
+        let (peer, prefix, at) = out.mrai_timers[0];
+        assert_eq!((peer, prefix), (AsId(3), pfx()));
+        // Expiry flushes the pending (coalesced) announcement.
+        let out = r.mrai_expired(peer, prefix, at);
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.action.is_announce());
+    }
+
+    #[test]
+    fn prepend_extra_lengthens_exported_path() {
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer));
+        let mut pol = plain(Relationship::Provider);
+        pol.prepend_extra = 2;
+        r.add_session(AsId(3), pol);
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        let (_, u) = &out.sends[0];
+        match &u.action {
+            BgpAction::Announce { path, .. } => {
+                assert_eq!(path.asns(), &[AsId(1), AsId(1), AsId(1), AsId(2)]);
+            }
+            _ => panic!("expected announce"),
+        }
+    }
+
+    #[test]
+    fn loc_rib_change_reports_exported_view() {
+        let mut r = sample_router();
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        let change = out.loc_rib_change.expect("best changed");
+        assert_eq!(change.prefix, pfx());
+        let route = change.route.expect("announced");
+        assert_eq!(route.path.asns(), &[AsId(1), AsId(2)]);
+    }
+
+    #[test]
+    fn better_relationship_replaces_current_best() {
+        let mut r = sample_router();
+        // Provider route first.
+        r.handle_update(AsId(3), BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(3)]), None), SimTime::ZERO);
+        assert!(matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(3)));
+        // Customer route displaces it despite equal length.
+        let out = r.handle_update(AsId(2), announce_from(2), SimTime::from_secs(1));
+        assert!(matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(2)));
+        // The new best is customer-learned → exported to the provider.
+        assert!(out.sends.iter().any(|(to, _)| *to == AsId(3)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Update dumps: the collector-side record format and query helpers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgpsim::{AggregatorStamp, AsId, AsPath, Prefix};
+use netsim::SimTime;
+
+use crate::project::Project;
+
+/// One exported update as it appears in a collector dump.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// The collector project that published it.
+    pub project: Project,
+    /// The full-feed peer (vantage point) that reported it.
+    pub vantage: AsId,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// When the VP's best route changed (arrival at the VP).
+    pub observed_at: SimTime,
+    /// When the record appeared in the public dump.
+    pub exported_at: SimTime,
+    /// The AS path (VP's ASN first); `None` records a withdrawal.
+    pub path: Option<AsPath>,
+    /// The transitive beacon stamp, possibly corrupted.
+    pub aggregator: Option<AggregatorStamp>,
+}
+
+impl UpdateRecord {
+    /// True for an announcement.
+    pub fn is_announcement(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The beacon send time, if the record carries a *valid* stamp.
+    /// Corrupted and missing stamps yield `None` — such announcements are
+    /// discarded by the analysis, as in the paper.
+    pub fn beacon_time(&self) -> Option<SimTime> {
+        match self.aggregator {
+            Some(stamp) if stamp.valid => Some(stamp.sent_at),
+            _ => None,
+        }
+    }
+}
+
+/// A time-ordered set of update records with query helpers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dump {
+    records: Vec<UpdateRecord>,
+}
+
+impl Dump {
+    /// Wrap records (assumed sorted by export time).
+    pub fn new(records: Vec<UpdateRecord>) -> Self {
+        Dump { records }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[UpdateRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Announcements whose aggregator stamp is present and valid —
+    /// the paper's validity filter (§4.3).
+    pub fn valid_announcements(&self) -> impl Iterator<Item = &UpdateRecord> {
+        self.records.iter().filter(|r| r.is_announcement() && r.beacon_time().is_some())
+    }
+
+    /// Share of announcements that fail the validity filter.
+    pub fn invalid_share(&self) -> f64 {
+        let announcements: Vec<&UpdateRecord> =
+            self.records.iter().filter(|r| r.is_announcement()).collect();
+        if announcements.is_empty() {
+            return 0.0;
+        }
+        let invalid = announcements.iter().filter(|r| r.beacon_time().is_none()).count();
+        invalid as f64 / announcements.len() as f64
+    }
+
+    /// Records grouped per (vantage, prefix) — the unit at which the RFD
+    /// signature search runs. Groups preserve time order.
+    pub fn by_vantage_prefix(&self) -> BTreeMap<(AsId, Prefix), Vec<&UpdateRecord>> {
+        let mut map: BTreeMap<(AsId, Prefix), Vec<&UpdateRecord>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry((r.vantage, r.prefix)).or_default().push(r);
+        }
+        map
+    }
+
+    /// Records for one prefix, all vantage points.
+    pub fn for_prefix(&self, prefix: Prefix) -> Vec<&UpdateRecord> {
+        self.records.iter().filter(|r| r.prefix == prefix).collect()
+    }
+
+    /// Records published by one project.
+    pub fn for_project(&self, project: Project) -> Vec<&UpdateRecord> {
+        self.records.iter().filter(|r| r.project == project).collect()
+    }
+
+    /// Merge another dump (re-sorting by export time).
+    pub fn merge(&mut self, other: Dump) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
+    }
+
+    /// Propagation delays (beacon send → VP arrival) of all valid
+    /// announcements — the Fig. 8 measurement.
+    pub fn propagation_delays_secs(&self) -> Vec<f64> {
+        self.valid_announcements()
+            .filter_map(|r| {
+                let sent = r.beacon_time()?;
+                Some(r.observed_at.saturating_since(sent).as_secs_f64())
+            })
+            .collect()
+    }
+
+    /// Export delays (VP arrival → dump publication), per project.
+    pub fn export_delays_secs(&self, project: Project) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.project == project)
+            .map(|r| r.exported_at.saturating_since(r.observed_at).as_secs_f64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vp: u32, t: u64, announced: bool, valid: bool) -> UpdateRecord {
+        UpdateRecord {
+            project: Project::Isolario,
+            vantage: AsId(vp),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            observed_at: SimTime::from_secs(t),
+            exported_at: SimTime::from_secs(t + 10),
+            path: announced.then(|| AsPath::from_slice(&[AsId(vp), AsId(9)])),
+            aggregator: announced.then(|| {
+                let s = AggregatorStamp::new(SimTime::from_secs(t.saturating_sub(2)));
+                if valid {
+                    s
+                } else {
+                    s.corrupted()
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn validity_filter() {
+        let d = Dump::new(vec![rec(1, 10, true, true), rec(1, 20, true, false), rec(1, 30, false, true)]);
+        assert_eq!(d.valid_announcements().count(), 1);
+        assert!((d.invalid_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping_preserves_order() {
+        let d = Dump::new(vec![rec(1, 10, true, true), rec(2, 15, true, true), rec(1, 20, false, true)]);
+        let groups = d.by_vantage_prefix();
+        assert_eq!(groups.len(), 2);
+        let g1 = &groups[&(AsId(1), "10.0.0.0/24".parse().unwrap())];
+        assert_eq!(g1.len(), 2);
+        assert!(g1[0].observed_at < g1[1].observed_at);
+    }
+
+    #[test]
+    fn propagation_delays_only_from_valid_stamps() {
+        let d = Dump::new(vec![rec(1, 10, true, true), rec(1, 20, true, false)]);
+        let delays = d.propagation_delays_secs();
+        assert_eq!(delays, vec![2.0]);
+    }
+
+    #[test]
+    fn merge_resorts() {
+        let mut a = Dump::new(vec![rec(1, 100, true, true)]);
+        let b = Dump::new(vec![rec(2, 10, true, true)]);
+        a.merge(b);
+        assert_eq!(a.records()[0].vantage, AsId(2));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn export_delay_query() {
+        let d = Dump::new(vec![rec(1, 10, true, true)]);
+        assert_eq!(d.export_delays_secs(Project::Isolario), vec![10.0]);
+        assert!(d.export_delays_secs(Project::RipeRis).is_empty());
+    }
+
+    #[test]
+    fn empty_dump_behaves() {
+        let d = Dump::default();
+        assert!(d.is_empty());
+        assert_eq!(d.invalid_share(), 0.0);
+        assert!(d.propagation_delays_secs().is_empty());
+    }
+}

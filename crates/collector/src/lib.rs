@@ -1,0 +1,27 @@
+//! # collector — route-collector vantage points and update dumps
+//!
+//! The paper observes its beacons through three public route-collector
+//! projects — RIPE RIS, RouteViews and Isolario — via ~400 "full feed"
+//! peers. This crate models that observation layer on top of the
+//! simulator's vantage-point taps:
+//!
+//! * each vantage point is **assigned to a project**, and each project has
+//!   its own **export-delay behaviour** (§4.3 / Fig. 8: some RouteViews
+//!   collectors export on a fixed 50-second cadence, Isolario exports
+//!   within ~30 s, RIS is diverse);
+//! * ~1 % of real announcements arrived with a **mangled aggregator
+//!   field**; the same corruption can be injected here, and the analysis
+//!   pipeline discards those records exactly as the paper does;
+//! * **session resets** (the "unexpected infrastructure failures" the 90 %
+//!   labeling rule exists to tolerate) can be injected as per-VP blackout
+//!   windows.
+//!
+//! The output is a [`dump::Dump`]: a time-ordered list of
+//! [`dump::UpdateRecord`]s, the exact shape the signature-detection and
+//! tomography stages consume.
+
+pub mod dump;
+pub mod project;
+
+pub use dump::{Dump, UpdateRecord};
+pub use project::{CollectorConfig, CollectorSet, Project};

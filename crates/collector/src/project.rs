@@ -1,0 +1,344 @@
+//! Collector projects, vantage-point assignment and the observation
+//! pipeline from tap records to dumps.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgpsim::{AsId, TapRecord};
+use netsim::{SimDuration, SimRng, SimTime};
+
+use crate::dump::{Dump, UpdateRecord};
+
+/// The three route-collector projects of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Serialize, Deserialize)]
+pub enum Project {
+    /// RIPE Routing Information Service.
+    RipeRis,
+    /// University of Oregon Route Views.
+    RouteViews,
+    /// IIT-CNR Isolario.
+    Isolario,
+}
+
+impl Project {
+    /// All projects, in a stable order.
+    pub const ALL: [Project; 3] = [Project::RipeRis, Project::RouteViews, Project::Isolario];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Project::RipeRis => "RIPE RIS",
+            Project::RouteViews => "RouteViews",
+            Project::Isolario => "Isolario",
+        }
+    }
+
+    /// When an update observed at `observed_at` appears in the project's
+    /// public dump.
+    ///
+    /// * RouteViews: batch export on a strict 50-second cadence (the
+    ///   paper: "some vantage points in the RouteViews project export
+    ///   updates exactly 50 seconds after our Beacon routers sent the BGP
+    ///   updates");
+    /// * Isolario: near-online, within 30 s;
+    /// * RIPE RIS: diverse per-collector behaviour, 5–90 s.
+    pub fn export_time(self, observed_at: SimTime, rng: &mut SimRng) -> SimTime {
+        match self {
+            Project::RouteViews => {
+                let cadence = SimDuration::from_secs(50).as_millis();
+                let ms = observed_at.as_millis();
+                let next = ms.div_ceil(cadence) * cadence;
+                SimTime::from_millis(next.max(ms))
+            }
+            Project::Isolario => {
+                observed_at + SimDuration::from_secs(5 + rng.below(25))
+            }
+            Project::RipeRis => {
+                observed_at + SimDuration::from_secs(5 + rng.below(85))
+            }
+        }
+    }
+}
+
+/// Observation-noise configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CollectorConfig {
+    /// Probability an announcement's aggregator field is corrupted
+    /// (the paper measured ~1 %). Corrupted records are *kept* in the dump
+    /// but flagged invalid; the analysis pipeline discards them.
+    pub aggregator_corruption: f64,
+    /// Probability a vantage point suffers one session reset during the
+    /// campaign (a blackout window during which it records nothing).
+    pub session_reset_rate: f64,
+    /// Length of a blackout window.
+    pub session_reset_duration: SimDuration,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            aggregator_corruption: 0.01,
+            session_reset_rate: 0.0,
+            session_reset_duration: SimDuration::from_mins(30),
+            seed: 0,
+        }
+    }
+}
+
+impl CollectorConfig {
+    /// A noiseless configuration (for deterministic tests).
+    pub fn clean() -> Self {
+        CollectorConfig { aggregator_corruption: 0.0, ..Default::default() }
+    }
+}
+
+/// The set of vantage points with their project assignments.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CollectorSet {
+    assignments: BTreeMap<AsId, Project>,
+}
+
+impl CollectorSet {
+    /// Assign vantage points to projects round-robin after a seeded
+    /// shuffle (so each project gets a comparable, but distinct, share —
+    /// the ingredient behind the Fig. 7 overlap analysis).
+    pub fn assign(vantage_points: &[AsId], seed: u64) -> Self {
+        let mut rng = SimRng::new(seed).split("collector-assignment");
+        let mut vps = vantage_points.to_vec();
+        rng.shuffle(&mut vps);
+        let assignments = vps
+            .into_iter()
+            .enumerate()
+            .map(|(i, vp)| (vp, Project::ALL[i % Project::ALL.len()]))
+            .collect();
+        CollectorSet { assignments }
+    }
+
+    /// Assign every vantage point to a single project.
+    pub fn single(vantage_points: &[AsId], project: Project) -> Self {
+        CollectorSet {
+            assignments: vantage_points.iter().map(|&vp| (vp, project)).collect(),
+        }
+    }
+
+    /// The project a vantage point feeds, if it is registered.
+    pub fn project_of(&self, vp: AsId) -> Option<Project> {
+        self.assignments.get(&vp).copied()
+    }
+
+    /// All vantage points feeding `project`.
+    pub fn members(&self, project: Project) -> Vec<AsId> {
+        self.assignments
+            .iter()
+            .filter(|(_, &p)| p == project)
+            .map(|(&vp, _)| vp)
+            .collect()
+    }
+
+    /// Number of registered vantage points.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when no vantage point is registered.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Turn raw tap records into a collector dump, applying per-project
+    /// export delays and the configured observation noise.
+    ///
+    /// `horizon` is the campaign end: blackout windows are placed inside
+    /// `[0, horizon)`.
+    pub fn process(
+        &self,
+        taps: &[TapRecord],
+        config: &CollectorConfig,
+        horizon: SimTime,
+    ) -> Dump {
+        let mut rng = SimRng::new(config.seed).split("collector-noise");
+
+        // Pre-draw blackout windows per VP (deterministic per seed).
+        let mut blackouts: BTreeMap<AsId, (SimTime, SimTime)> = BTreeMap::new();
+        for &vp in self.assignments.keys() {
+            let mut vp_rng = rng.split_index("reset", u64::from(vp.0));
+            if vp_rng.chance(config.session_reset_rate) && horizon > SimTime::ZERO {
+                let start_ms = vp_rng.below(horizon.as_millis().max(1));
+                let start = SimTime::from_millis(start_ms);
+                blackouts.insert(vp, (start, start + config.session_reset_duration));
+            }
+        }
+
+        let mut records = Vec::with_capacity(taps.len());
+        for tap in taps {
+            let Some(project) = self.project_of(tap.vantage) else {
+                continue; // not a registered full-feed peer
+            };
+            if let Some(&(b0, b1)) = blackouts.get(&tap.vantage) {
+                if tap.time >= b0 && tap.time < b1 {
+                    continue; // session was down
+                }
+            }
+            let exported_at = project.export_time(tap.time, &mut rng);
+            let (path, mut aggregator) = match &tap.route {
+                Some(route) => (Some(route.path.clone()), route.aggregator),
+                None => (None, None),
+            };
+            if let Some(stamp) = aggregator {
+                if rng.chance(config.aggregator_corruption) {
+                    aggregator = Some(stamp.corrupted());
+                }
+            }
+            records.push(UpdateRecord {
+                project,
+                vantage: tap.vantage,
+                prefix: tap.prefix,
+                observed_at: tap.time,
+                exported_at,
+                path,
+                aggregator,
+            });
+        }
+        records.sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
+        Dump::new(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim::{AsPath, Prefix};
+    use bgpsim::AggregatorStamp;
+
+    fn vps() -> Vec<AsId> {
+        (1..=9).map(AsId).collect()
+    }
+
+    fn tap(vp: u32, t_secs: u64, announced: bool) -> TapRecord {
+        let route = announced.then(|| bgpsim::rib::Route {
+            path: AsPath::from_slice(&[AsId(vp), AsId(100)]),
+            aggregator: Some(AggregatorStamp::new(SimTime::from_secs(t_secs.saturating_sub(1)))),
+        });
+        TapRecord {
+            vantage: AsId(vp),
+            time: SimTime::from_secs(t_secs),
+            prefix: "10.0.0.0/24".parse::<Prefix>().unwrap(),
+            route,
+        }
+    }
+
+    #[test]
+    fn assignment_is_balanced_and_deterministic() {
+        let a = CollectorSet::assign(&vps(), 3);
+        let b = CollectorSet::assign(&vps(), 3);
+        for vp in vps() {
+            assert_eq!(a.project_of(vp), b.project_of(vp));
+        }
+        for p in Project::ALL {
+            assert_eq!(a.members(p).len(), 3, "9 VPs split 3-3-3");
+        }
+    }
+
+    #[test]
+    fn unregistered_vps_are_dropped() {
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let dump = set.process(
+            &[tap(1, 10, true), tap(2, 10, true)],
+            &CollectorConfig::clean(),
+            SimTime::from_mins(60),
+        );
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump.records()[0].vantage, AsId(1));
+    }
+
+    #[test]
+    fn routeviews_exports_on_50s_cadence() {
+        let mut rng = SimRng::new(1);
+        let t = Project::RouteViews.export_time(SimTime::from_secs(13), &mut rng);
+        assert_eq!(t, SimTime::from_secs(50));
+        let t = Project::RouteViews.export_time(SimTime::from_secs(50), &mut rng);
+        assert_eq!(t, SimTime::from_secs(50));
+        let t = Project::RouteViews.export_time(SimTime::from_secs(51), &mut rng);
+        assert_eq!(t, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn isolario_exports_within_30s() {
+        let mut rng = SimRng::new(2);
+        for i in 0..200 {
+            let obs = SimTime::from_secs(i);
+            let t = Project::Isolario.export_time(obs, &mut rng);
+            let d = t.saturating_since(obs);
+            assert!(d >= SimDuration::from_secs(5) && d < SimDuration::from_secs(30));
+        }
+    }
+
+    #[test]
+    fn ris_delay_is_diverse() {
+        let mut rng = SimRng::new(3);
+        let delays: Vec<u64> = (0..300)
+            .map(|_| {
+                Project::RipeRis
+                    .export_time(SimTime::ZERO, &mut rng)
+                    .as_millis()
+            })
+            .collect();
+        let min = *delays.iter().min().unwrap();
+        let max = *delays.iter().max().unwrap();
+        assert!(max - min > 60_000, "RIS spread should exceed a minute");
+    }
+
+    #[test]
+    fn corruption_flags_but_keeps_records() {
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let cfg = CollectorConfig { aggregator_corruption: 1.0, ..CollectorConfig::clean() };
+        let dump = set.process(&[tap(1, 10, true)], &cfg, SimTime::from_mins(60));
+        assert_eq!(dump.len(), 1);
+        let rec = &dump.records()[0];
+        assert!(rec.path.is_some());
+        assert!(!rec.aggregator.unwrap().valid, "stamp must be corrupted");
+        // The paper's pipeline filter drops it.
+        assert_eq!(dump.valid_announcements().count(), 0);
+    }
+
+    #[test]
+    fn session_reset_blacks_out_a_window() {
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let cfg = CollectorConfig {
+            session_reset_rate: 1.0,
+            session_reset_duration: SimDuration::from_hours(1000), // covers everything
+            ..CollectorConfig::clean()
+        };
+        let taps: Vec<TapRecord> = (0..20).map(|i| tap(1, 60 * i, i % 2 == 0)).collect();
+        let dump = set.process(&taps, &cfg, SimTime::from_mins(30));
+        // The blackout starts somewhere in [0, 30 min) and lasts forever →
+        // strictly fewer records than taps.
+        assert!(dump.len() < taps.len());
+    }
+
+    #[test]
+    fn records_sorted_by_export_time() {
+        let set = CollectorSet::assign(&vps(), 9);
+        let taps: Vec<TapRecord> =
+            (0..50).map(|i| tap(1 + (i % 9) as u32, 1000 - 20 * i, true)).collect();
+        let dump = set.process(&taps, &CollectorConfig::clean(), SimTime::from_mins(60));
+        let times: Vec<SimTime> = dump.records().iter().map(|r| r.exported_at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn withdrawals_have_no_path_or_stamp() {
+        let set = CollectorSet::single(&[AsId(1)], Project::RipeRis);
+        let dump =
+            set.process(&[tap(1, 5, false)], &CollectorConfig::clean(), SimTime::from_mins(60));
+        let rec = &dump.records()[0];
+        assert!(rec.path.is_none());
+        assert!(rec.aggregator.is_none());
+        assert!(!rec.is_announcement());
+    }
+}

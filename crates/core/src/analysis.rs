@@ -1,0 +1,379 @@
+//! The end-to-end BeCAUSe pipeline (§5 of the paper).
+//!
+//! [`Analysis::run`] takes the path dataset and produces, per AS: the MH
+//! and HMC marginal summaries, the Table-1 category (highest flag across
+//! both samplers and both summary metrics), and the inconsistent-damper
+//! flag from the Eq.-8 pass. This is the object the experiment crates and
+//! examples consume.
+
+use serde::{Deserialize, Serialize};
+
+use netsim::SimRng;
+
+use crate::category::Category;
+use crate::chain::{run_chains, Chain, ChainConfig};
+use crate::diagnostics;
+use crate::hmc::Hmc;
+use crate::mh::MetropolisHastings;
+use crate::model::{NodeId, PathData};
+use crate::pinpoint::{apply_pinpoint, pinpoint_inconsistent};
+use crate::prior::Prior;
+use crate::summary::Marginal;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Prior over every `p_i`.
+    pub prior: Prior,
+    /// Per-chain warmup/samples/thinning.
+    pub chain: ChainConfig,
+    /// Independent chains per kernel.
+    pub n_chains: usize,
+    /// Run the Metropolis–Hastings kernel.
+    pub run_mh: bool,
+    /// Run the HMC kernel.
+    pub run_hmc: bool,
+    /// HPDI mass level (paper: 0.95).
+    pub hpdi_level: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            prior: Prior::default(),
+            chain: ChainConfig::default(),
+            n_chains: 2,
+            run_mh: true,
+            run_hmc: true,
+            hpdi_level: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A fast configuration for unit tests and examples.
+    pub fn fast(seed: u64) -> Self {
+        AnalysisConfig {
+            chain: ChainConfig { warmup: 200, samples: 400, thin: 1 },
+            n_chains: 2,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-AS inference output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsReport {
+    /// The AS.
+    pub id: NodeId,
+    /// MH marginal summary (if MH ran).
+    pub mh: Option<Marginal>,
+    /// HMC marginal summary (if HMC ran).
+    pub hmc: Option<Marginal>,
+    /// Final Table-1 category (after the pinpoint pass).
+    pub category: Category,
+    /// True if the category was raised by the inconsistent-damper pass.
+    pub flagged_inconsistent: bool,
+    /// Eq.-8 posterior probability when flagged.
+    pub pinpoint_prob: Option<f64>,
+}
+
+impl AsReport {
+    /// The mean over whichever samplers ran (average of available means).
+    pub fn mean(&self) -> f64 {
+        match (self.mh, self.hmc) {
+            (Some(a), Some(b)) => 0.5 * (a.mean + b.mean),
+            (Some(a), None) => a.mean,
+            (None, Some(b)) => b.mean,
+            (None, None) => f64::NAN,
+        }
+    }
+
+    /// Certainty `1 − |HPDI|`, worst (widest interval) across samplers —
+    /// conservative, matching the paper's "use the highest flag" spirit.
+    pub fn certainty(&self) -> f64 {
+        [self.mh, self.hmc]
+            .iter()
+            .flatten()
+            .map(Marginal::certainty)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Does the final category declare the property?
+    pub fn is_property(&self) -> bool {
+        self.category.is_property()
+    }
+}
+
+/// The complete analysis output.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Per-AS reports, in dense index order.
+    pub reports: Vec<AsReport>,
+    /// Pooled MH chains (empty if MH did not run).
+    pub mh_chains: Vec<Chain>,
+    /// Pooled HMC chains (empty if HMC did not run).
+    pub hmc_chains: Vec<Chain>,
+    /// Paths labeled as showing the property that no flagged AS explains.
+    pub unexplained_paths: usize,
+    /// Worst split-R̂ across coordinates and kernels (NaN if single chain).
+    pub max_r_hat: f64,
+}
+
+impl Analysis {
+    /// Run the full pipeline.
+    pub fn run(data: &PathData, config: &AnalysisConfig) -> Analysis {
+        assert!(config.run_mh || config.run_hmc, "enable at least one kernel");
+        let rng = SimRng::new(config.seed);
+
+        let mh_chains = if config.run_mh {
+            let mh_rng = rng.split("mh");
+            run_chains(
+                |_k, r: &mut SimRng| MetropolisHastings::from_prior(data, config.prior, r),
+                config.n_chains,
+                &config.chain,
+                &mh_rng,
+            )
+        } else {
+            Vec::new()
+        };
+        let hmc_chains = if config.run_hmc {
+            let hmc_rng = rng.split("hmc");
+            run_chains(
+                |_k, r: &mut SimRng| Hmc::from_prior(data, config.prior, r),
+                config.n_chains,
+                &config.chain,
+                &hmc_rng,
+            )
+        } else {
+            Vec::new()
+        };
+
+        let mh_pooled = (!mh_chains.is_empty()).then(|| Chain::pooled(&mh_chains));
+        let hmc_pooled = (!hmc_chains.is_empty()).then(|| Chain::pooled(&hmc_chains));
+
+        // Marginal summaries and Table-1 categories.
+        let n = data.num_nodes();
+        let mut reports = Vec::with_capacity(n);
+        let mut categories = Vec::with_capacity(n);
+        for i in 0..n {
+            let mh = mh_pooled.as_ref().map(|c| Marginal::from_samples(&c.column(i), config.hpdi_level));
+            let hmc =
+                hmc_pooled.as_ref().map(|c| Marginal::from_samples(&c.column(i), config.hpdi_level));
+            let votes = [mh, hmc].iter().flatten().map(Category::from_marginal).collect::<Vec<_>>();
+            let category = Category::combine(votes);
+            categories.push(category);
+            reports.push(AsReport {
+                id: data.id(i),
+                mh,
+                hmc,
+                category,
+                flagged_inconsistent: false,
+                pinpoint_prob: None,
+            });
+        }
+
+        // Inconsistent-damper pass over the pooled joint samples.
+        let all_chains: Vec<&Chain> =
+            mh_pooled.iter().chain(hmc_pooled.iter()).collect();
+        let pin = pinpoint_inconsistent(data, &categories, &all_chains);
+        apply_pinpoint(data, &mut categories, &pin);
+        for (i, report) in reports.iter_mut().enumerate() {
+            if let Some(&prob) = pin.flagged.get(&report.id) {
+                if !report.category.is_property() {
+                    report.flagged_inconsistent = true;
+                }
+                report.pinpoint_prob = Some(prob);
+            }
+            report.category = categories[i];
+        }
+
+        let max_r_hat = {
+            let r_mh = if mh_chains.len() > 1 { diagnostics::max_r_hat(&mh_chains) } else { f64::NAN };
+            let r_hmc =
+                if hmc_chains.len() > 1 { diagnostics::max_r_hat(&hmc_chains) } else { f64::NAN };
+            match (r_mh.is_nan(), r_hmc.is_nan()) {
+                (false, false) => r_mh.max(r_hmc),
+                (false, true) => r_mh,
+                (true, false) => r_hmc,
+                (true, true) => f64::NAN,
+            }
+        };
+
+        Analysis {
+            reports,
+            mh_chains,
+            hmc_chains,
+            unexplained_paths: pin.unexplained_paths.len(),
+            max_r_hat,
+        }
+    }
+
+    /// The report for one AS.
+    pub fn report(&self, id: NodeId) -> Option<&AsReport> {
+        self.reports.iter().find(|r| r.id == id)
+    }
+
+    /// ASs flagged with the property (category 4/5).
+    pub fn property_nodes(&self) -> Vec<NodeId> {
+        self.reports.iter().filter(|r| r.is_property()).map(|r| r.id).collect()
+    }
+
+    /// Counts per category `[C1, C2, C3, C4, C5]` (Table 2's rows).
+    pub fn category_counts(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for r in &self.reports {
+            counts[(r.category.value() - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Share of ASs per category.
+    pub fn category_shares(&self) -> [f64; 5] {
+        let total = self.reports.len().max(1) as f64;
+        self.category_counts().map(|c| c as f64 / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PathObservation;
+
+    fn observations(paths: &[(&[u32], bool)], copies: u32) -> Vec<PathObservation> {
+        let mut obs = Vec::new();
+        for _ in 0..copies {
+            for (ids, label) in paths {
+                obs.push(PathObservation::new(
+                    ids.iter().map(|&i| NodeId(i)).collect(),
+                    *label,
+                ));
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn full_pipeline_classifies_clear_cases() {
+        // 1 damps (alone on showing paths), 2 clean, 3 shadowed behind 1.
+        let obs = observations(
+            &[(&[1], true), (&[1, 3], true), (&[2], false), (&[2, 4], false)],
+            20,
+        );
+        let data = PathData::from_observations(&obs, &[]);
+        let a = Analysis::run(&data, &AnalysisConfig::fast(1));
+
+        let r1 = a.report(NodeId(1)).unwrap();
+        assert_eq!(r1.category, Category::C5, "clear damper");
+        assert!(r1.is_property());
+
+        let r2 = a.report(NodeId(2)).unwrap();
+        assert!(matches!(r2.category, Category::C1 | Category::C2), "clean: {:?}", r2.category);
+
+        // Node 3 only ever appears behind the damper: no information →
+        // prior recovered → C1/C2/C3, definitely not flagged.
+        let r3 = a.report(NodeId(3)).unwrap();
+        assert!(!r3.is_property(), "shadowed AS must not be flagged: {:?}", r3.category);
+    }
+
+    #[test]
+    fn inconsistent_damper_is_pinpointed() {
+        // Node 1 damps only some neighbors (the paper's AS-701 case):
+        // five showing paths share node 1 with distinct partners, while
+        // three more neighbors see clean paths through it. Every partner
+        // also has its own clean path, so "the partners damp" is a far
+        // worse explanation than "node 1 damps part of its routes". The
+        // posterior puts p_1 in the uncertain middle — below the C4 band —
+        // and the Eq.-8 pass must raise it.
+        let showing: &[(&[u32], bool)] = &[
+            (&[1, 2], true),
+            (&[1, 5], true),
+            (&[1, 8], true),
+            (&[1, 9], true),
+            (&[1, 10], true),
+        ];
+        let clean: &[(&[u32], bool)] = &[
+            (&[1, 3], false),
+            (&[1, 6], false),
+            (&[1, 7], false),
+            (&[2, 4], false),
+            (&[5, 4], false),
+            (&[8, 4], false),
+            (&[9, 4], false),
+            (&[10, 4], false),
+        ];
+        let mut obs = observations(showing, 15);
+        obs.extend(observations(clean, 15));
+        let data = PathData::from_observations(&obs, &[]);
+        let a = Analysis::run(&data, &AnalysisConfig::fast(2));
+        let r1 = a.report(NodeId(1)).unwrap();
+        // The marginal alone sits in the middle (clean paths drag it
+        // down), so the property flag must come via the pinpoint pass.
+        assert!(
+            r1.is_property(),
+            "inconsistent damper must end ≥ C4, got {:?} (mean {:.2})",
+            r1.category,
+            r1.mean()
+        );
+        // Clean co-travellers stay unflagged.
+        for id in [3, 4, 6, 7] {
+            let r = a.report(NodeId(id)).unwrap();
+            assert!(!r.is_property(), "node {id} wrongly flagged {:?}", r.category);
+        }
+    }
+
+    #[test]
+    fn category_counts_sum_to_nodes() {
+        let obs = observations(&[(&[1, 2], true), (&[3], false)], 5);
+        let data = PathData::from_observations(&obs, &[]);
+        let a = Analysis::run(&data, &AnalysisConfig::fast(3));
+        let counts = a.category_counts();
+        assert_eq!(counts.iter().sum::<usize>(), data.num_nodes());
+        let shares = a.category_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_kernel_modes_work() {
+        let obs = observations(&[(&[1], true), (&[2], false)], 10);
+        let data = PathData::from_observations(&obs, &[]);
+        for (mh, hmc) in [(true, false), (false, true)] {
+            let cfg = AnalysisConfig { run_mh: mh, run_hmc: hmc, ..AnalysisConfig::fast(4) };
+            let a = Analysis::run(&data, &cfg);
+            let r = a.report(NodeId(1)).unwrap();
+            assert!(r.is_property(), "mh={mh} hmc={hmc}");
+            assert_eq!(r.mh.is_some(), mh);
+            assert_eq!(r.hmc.is_some(), hmc);
+        }
+    }
+
+    #[test]
+    fn chains_converge_on_easy_data() {
+        let obs = observations(&[(&[1], true), (&[2], false)], 25);
+        let data = PathData::from_observations(&obs, &[]);
+        let cfg = AnalysisConfig {
+            n_chains: 4,
+            chain: ChainConfig { warmup: 400, samples: 600, thin: 1 },
+            ..AnalysisConfig::fast(5)
+        };
+        let a = Analysis::run(&data, &cfg);
+        assert!(a.max_r_hat < 1.1, "r_hat={}", a.max_r_hat);
+    }
+
+    #[test]
+    fn reports_deterministic_for_seed() {
+        let obs = observations(&[(&[1, 2], true), (&[2], false)], 8);
+        let data = PathData::from_observations(&obs, &[]);
+        let a = Analysis::run(&data, &AnalysisConfig::fast(6));
+        let b = Analysis::run(&data, &AnalysisConfig::fast(6));
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.category, rb.category);
+            assert_eq!(ra.mh.map(|m| m.mean), rb.mh.map(|m| m.mean));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! MCMC convergence diagnostics: effective sample size and split-R̂.
+//!
+//! These are not part of the paper's pipeline but are indispensable for a
+//! production sampler: ESS quantifies how much independent information a
+//! correlated chain carries, and split-R̂ (Gelman–Rubin on half-chains)
+//! flags non-convergence. The bench suite uses ESS/second as the
+//! MH-vs-HMC comparison metric.
+
+use crate::chain::Chain;
+
+/// Effective sample size of one marginal draw sequence, via the initial
+/// positive sequence estimator (Geyer): sum autocorrelations in pairs
+/// until a pair sum goes non-positive.
+pub fn effective_sample_size(draws: &[f64]) -> f64 {
+    let n = draws.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mean = draws.iter().sum::<f64>() / n as f64;
+    let var: f64 = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        // A constant chain carries one effective observation.
+        return 1.0;
+    }
+    let autocov = |lag: usize| -> f64 {
+        draws[..n - lag]
+            .iter()
+            .zip(&draws[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / n as f64
+    };
+    let mut rho_sum = 0.0;
+    let mut lag = 1;
+    while lag + 1 < n {
+        let pair = (autocov(lag) + autocov(lag + 1)) / var;
+        if pair <= 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+/// Minimum ESS across all coordinates of a chain.
+pub fn min_ess(chain: &Chain) -> f64 {
+    (0..chain.dim())
+        .map(|i| effective_sample_size(&chain.column(i)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Split-R̂ for one coordinate across multiple chains: each chain is cut
+/// in half and the Gelman–Rubin statistic computed over the 2m half
+/// chains. Values near 1 indicate convergence; > 1.05 is suspect.
+pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
+    let mut halves: Vec<Vec<f64>> = Vec::new();
+    for c in chains {
+        let col = c.column(coord);
+        if col.len() < 4 {
+            continue;
+        }
+        let mid = col.len() / 2;
+        halves.push(col[..mid].to_vec());
+        halves.push(col[mid..].to_vec());
+    }
+    if halves.len() < 2 {
+        return f64::NAN;
+    }
+    let m = halves.len() as f64;
+    let n = halves.iter().map(Vec::len).min().expect("non-empty") as f64;
+    let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / h.len() as f64).collect();
+    let grand = means.iter().sum::<f64>() / m;
+    let b = n / (m - 1.0) * means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>();
+    let w = halves
+        .iter()
+        .zip(&means)
+        .map(|(h, &mu)| {
+            h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (h.len() as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m;
+    if w <= 0.0 {
+        return 1.0; // identical constant chains: trivially converged
+    }
+    let var_plus = (n - 1.0) / n * w + b / n;
+    (var_plus / w).sqrt()
+}
+
+/// Worst split-R̂ over all coordinates.
+pub fn max_r_hat(chains: &[Chain]) -> f64 {
+    let dim = chains.first().map(Chain::dim).unwrap_or(0);
+    (0..dim).map(|i| split_r_hat(chains, i)).fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::SamplerKind;
+    use netsim::SimRng;
+
+    fn chain_of(samples: Vec<Vec<f64>>) -> Chain {
+        Chain { kind: SamplerKind::MetropolisHastings, samples, accept_rate: 0.5 }
+    }
+
+    #[test]
+    fn iid_draws_have_ess_near_n() {
+        let mut rng = SimRng::new(1);
+        let draws: Vec<f64> = (0..5_000).map(|_| rng.gaussian()).collect();
+        let ess = effective_sample_size(&draws);
+        assert!(ess > 3_500.0, "ess={ess}");
+    }
+
+    #[test]
+    fn correlated_draws_have_reduced_ess() {
+        // AR(1) with strong correlation.
+        let mut rng = SimRng::new(2);
+        let mut x = 0.0;
+        let draws: Vec<f64> = (0..5_000)
+            .map(|_| {
+                x = 0.95 * x + rng.gaussian();
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&draws);
+        // Theory: ESS ≈ n(1−ρ)/(1+ρ) ≈ n/39.
+        assert!(ess < 500.0, "ess={ess}");
+        assert!(ess > 10.0, "ess={ess}");
+    }
+
+    #[test]
+    fn constant_chain_has_ess_one() {
+        assert_eq!(effective_sample_size(&[0.5; 100]), 1.0);
+    }
+
+    #[test]
+    fn tiny_chains_pass_through() {
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn rhat_near_one_for_same_distribution() {
+        let mut rng = SimRng::new(3);
+        let chains: Vec<Chain> = (0..4)
+            .map(|_| chain_of((0..1000).map(|_| vec![rng.gaussian()]).collect()))
+            .collect();
+        let r = split_r_hat(&chains, 0);
+        assert!((r - 1.0).abs() < 0.02, "rhat={r}");
+    }
+
+    #[test]
+    fn rhat_large_for_disagreeing_chains() {
+        let mut rng = SimRng::new(4);
+        let a = chain_of((0..500).map(|_| vec![rng.gaussian()]).collect());
+        let b = chain_of((0..500).map(|_| vec![5.0 + rng.gaussian()]).collect());
+        let r = split_r_hat(&[a, b], 0);
+        assert!(r > 1.5, "rhat={r}");
+    }
+
+    #[test]
+    fn min_ess_takes_worst_coordinate() {
+        let mut rng = SimRng::new(5);
+        let mut x = 0.0;
+        let samples: Vec<Vec<f64>> = (0..2000)
+            .map(|_| {
+                x = 0.98 * x + rng.gaussian();
+                vec![rng.gaussian(), x] // coord 0 iid, coord 1 sticky
+            })
+            .collect();
+        let c = chain_of(samples);
+        let worst = min_ess(&c);
+        let ess0 = effective_sample_size(&c.column(0));
+        assert!(worst < ess0 / 3.0, "worst={worst} ess0={ess0}");
+    }
+}

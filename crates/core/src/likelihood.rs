@@ -1,0 +1,329 @@
+//! The path likelihood (Eq. 5 of the paper), its gradient, and an
+//! incremental evaluator for component-wise samplers.
+//!
+//! Everything is kept in log space. For a path `J` with `S_J = Σ_{i∈J}
+//! log q_i`:
+//!
+//! * a **non-showing** path contributes `w_J · S_J`;
+//! * a **showing** path contributes `w_J · log(1 − e^{S_J})`
+//!   (via [`crate::math::log1mexp`]),
+//!
+//! where `w_J` is the observation weight (identical measurements
+//! collapsed). Changing a single `q_i` only changes `S_J` for paths
+//! through node `i`, which makes component-wise Metropolis–Hastings a
+//! `O(paths-through-i)` operation instead of `O(all paths)` —
+//! [`IncrementalLikelihood`] exploits exactly that.
+
+use crate::math::log1mexp;
+use crate::model::PathData;
+
+/// Lower clamp for `p` and `1 − p`: keeps `log q` finite while being far
+/// below any resolvable posterior mass.
+pub const P_EPS: f64 = 1e-9;
+
+/// Clamp a probability into the numerically safe open interval.
+#[inline]
+pub fn clamp_p(p: f64) -> f64 {
+    p.clamp(P_EPS, 1.0 - P_EPS)
+}
+
+/// Full-dataset log-likelihood evaluator.
+#[derive(Clone, Debug)]
+pub struct LogLikelihood<'a> {
+    data: &'a PathData,
+}
+
+impl<'a> LogLikelihood<'a> {
+    /// Bind to a dataset.
+    pub fn new(data: &'a PathData) -> Self {
+        LogLikelihood { data }
+    }
+
+    /// The underlying dataset.
+    pub fn data(&self) -> &'a PathData {
+        self.data
+    }
+
+    /// `log P(D | p)`.
+    pub fn eval(&self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.data.num_nodes(), "dimension mismatch");
+        let log_q: Vec<f64> = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
+        let mut total = 0.0;
+        for path in self.data.paths() {
+            let s: f64 = path.nodes.iter().map(|&i| log_q[i]).sum();
+            let contrib = if path.shows_property { log1mexp(s) } else { s };
+            total += f64::from(path.weight) * contrib;
+        }
+        total
+    }
+
+    /// Gradient `∂ log P(D|p) / ∂ p_i` written into `grad` (overwritten).
+    ///
+    /// For a non-showing path: `∂/∂p_i = −w/q_i`. For a showing path with
+    /// `Q = e^{S}`: `∂/∂p_i = w · (Q/q_i) / (1 − Q)`, evaluated as
+    /// `w · exp(S − log q_i − log1mexp(S))` to stay stable when `Q → 0`
+    /// or `Q → 1`.
+    pub fn grad(&self, p: &[f64], grad: &mut [f64]) {
+        assert_eq!(p.len(), self.data.num_nodes());
+        assert_eq!(grad.len(), p.len());
+        let log_q: Vec<f64> = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
+        grad.fill(0.0);
+        for path in self.data.paths() {
+            let w = f64::from(path.weight);
+            let s: f64 = path.nodes.iter().map(|&i| log_q[i]).sum();
+            if path.shows_property {
+                let log_denom = log1mexp(s); // log(1 − Q)
+                for &i in &path.nodes {
+                    grad[i] += w * (s - log_q[i] - log_denom).exp();
+                }
+            } else {
+                for &i in &path.nodes {
+                    // −1/q_i = −exp(−log q_i)
+                    grad[i] -= w * (-log_q[i]).exp();
+                }
+            }
+        }
+    }
+}
+
+/// Incremental evaluator: caches per-path `S_J` and the total, and updates
+/// both in `O(paths through i)` when one coordinate moves.
+#[derive(Clone, Debug)]
+pub struct IncrementalLikelihood<'a> {
+    data: &'a PathData,
+    log_q: Vec<f64>,
+    path_sum: Vec<f64>,
+    total: f64,
+    commits: u64,
+    /// Rebuild from scratch every this many commits to cap float drift.
+    rebuild_every: u64,
+}
+
+impl<'a> IncrementalLikelihood<'a> {
+    /// Initialise the caches at state `p`.
+    pub fn new(data: &'a PathData, p: &[f64]) -> Self {
+        let mut il = IncrementalLikelihood {
+            data,
+            log_q: Vec::new(),
+            path_sum: Vec::new(),
+            total: 0.0,
+            commits: 0,
+            rebuild_every: 100_000,
+        };
+        il.rebuild(p);
+        il
+    }
+
+    /// Recompute every cache from scratch.
+    pub fn rebuild(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.data.num_nodes());
+        self.log_q = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
+        self.path_sum = self
+            .data
+            .paths()
+            .iter()
+            .map(|path| path.nodes.iter().map(|&i| self.log_q[i]).sum())
+            .collect();
+        self.total = self
+            .data
+            .paths()
+            .iter()
+            .zip(&self.path_sum)
+            .map(|(path, &s)| {
+                let c = if path.shows_property { log1mexp(s) } else { s };
+                f64::from(path.weight) * c
+            })
+            .sum();
+    }
+
+    /// Current total log-likelihood.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Log-likelihood change if `p_i` moved to `new_p` (no state change).
+    pub fn delta(&self, i: usize, new_p: f64) -> f64 {
+        let new_log_q = (1.0 - clamp_p(new_p)).ln();
+        let d_log_q = new_log_q - self.log_q[i];
+        let mut delta = 0.0;
+        for &j in self.data.paths_of(i) {
+            let path = &self.data.paths()[j];
+            let w = f64::from(path.weight);
+            let s_old = self.path_sum[j];
+            let s_new = s_old + d_log_q;
+            let (c_old, c_new) = if path.shows_property {
+                (log1mexp(s_old.min(0.0)), log1mexp(s_new.min(0.0)))
+            } else {
+                (s_old, s_new)
+            };
+            delta += w * (c_new - c_old);
+        }
+        delta
+    }
+
+    /// Commit the move of `p_i` to `new_p`, updating caches.
+    pub fn commit(&mut self, i: usize, new_p: f64, delta: f64) {
+        let new_log_q = (1.0 - clamp_p(new_p)).ln();
+        let d_log_q = new_log_q - self.log_q[i];
+        self.log_q[i] = new_log_q;
+        let data = self.data; // copy of the shared reference, frees `self`
+        for &j in data.paths_of(i) {
+            self.path_sum[j] += d_log_q;
+        }
+        self.total += delta;
+        self.commits += 1;
+        if self.commits % self.rebuild_every == 0 {
+            // Periodic exact rebuild caps accumulated float drift.
+            let p: Vec<f64> = self.log_q.iter().map(|&lq| 1.0 - lq.exp()).collect();
+            self.rebuild(&p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeId, PathObservation};
+
+    fn data(paths: &[(&[u32], bool)]) -> PathData {
+        let obs: Vec<PathObservation> = paths
+            .iter()
+            .map(|(ids, label)| {
+                PathObservation::new(ids.iter().map(|&i| NodeId(i)).collect(), *label)
+            })
+            .collect();
+        PathData::from_observations(&obs, &[])
+    }
+
+    #[test]
+    fn single_path_probabilities() {
+        // One non-showing path over two nodes: L = q1·q2.
+        let d = data(&[(&[1, 2], false)]);
+        let ll = LogLikelihood::new(&d);
+        let p = [0.2, 0.5];
+        let expect = (0.8 * 0.5_f64).ln();
+        assert!((ll.eval(&p) - expect).abs() < 1e-12);
+
+        // Showing path: L = 1 − q1·q2.
+        let d = data(&[(&[1, 2], true)]);
+        let ll = LogLikelihood::new(&d);
+        let expect = (1.0 - 0.8 * 0.5_f64).ln();
+        assert!((ll.eval(&p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_multiply_contributions() {
+        let d1 = data(&[(&[1], true), (&[1], true), (&[1], true)]);
+        let d2 = data(&[(&[1], true)]);
+        let p = [0.3];
+        let l1 = LogLikelihood::new(&d1).eval(&p);
+        let l2 = LogLikelihood::new(&d2).eval(&p);
+        assert!((l1 - 3.0 * l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn likelihood_increases_toward_truth() {
+        // Node 1 damps everything, node 2 nothing. Paths: {1} shows,
+        // {2} doesn't (many observations).
+        let d = data(&[(&[1], true), (&[1], true), (&[2], false), (&[2], false)]);
+        let ll = LogLikelihood::new(&d);
+        let good = ll.eval(&[0.95, 0.05]);
+        let bad = ll.eval(&[0.05, 0.95]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let d = data(&[
+            (&[1, 2], true),
+            (&[2, 3], false),
+            (&[1, 3], true),
+            (&[3], false),
+        ]);
+        let ll = LogLikelihood::new(&d);
+        let p = [0.3, 0.6, 0.2];
+        let mut g = vec![0.0; 3];
+        ll.grad(&p, &mut g);
+        let h = 1e-7;
+        for i in 0..3 {
+            let mut pp = p;
+            pp[i] += h;
+            let mut pm = p;
+            pm[i] -= h;
+            let fd = (ll.eval(&pp) - ll.eval(&pm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4, "i={i} grad={} fd={fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_sign_logic() {
+        // A showing path pushes p up (positive gradient); a non-showing
+        // path pushes p down.
+        let d_show = data(&[(&[1], true)]);
+        let mut g = vec![0.0];
+        LogLikelihood::new(&d_show).grad(&[0.5], &mut g);
+        assert!(g[0] > 0.0);
+
+        let d_clean = data(&[(&[1], false)]);
+        LogLikelihood::new(&d_clean).grad(&[0.5], &mut g);
+        assert!(g[0] < 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_full_on_random_walk() {
+        let d = data(&[
+            (&[1, 2, 3], true),
+            (&[2, 3], false),
+            (&[1, 4], true),
+            (&[4, 5], false),
+            (&[1, 2, 3, 4, 5], true),
+        ]);
+        let ll = LogLikelihood::new(&d);
+        let mut p = vec![0.5; d.num_nodes()];
+        let mut inc = IncrementalLikelihood::new(&d, &p);
+        assert!((inc.total() - ll.eval(&p)).abs() < 1e-10);
+
+        // Deterministic pseudo-random walk.
+        let mut x = 123456789u64;
+        for step in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % d.num_nodes();
+            let new_p = ((x >> 11) as f64 / (1u64 << 53) as f64).clamp(0.01, 0.99);
+            let delta = inc.delta(i, new_p);
+            // Cross-check against full evaluation.
+            let mut p2 = p.clone();
+            p2[i] = new_p;
+            let full_delta = ll.eval(&p2) - ll.eval(&p);
+            assert!(
+                (delta - full_delta).abs() < 1e-8,
+                "step {step}: inc {delta} vs full {full_delta}"
+            );
+            if step % 3 != 0 {
+                inc.commit(i, new_p, delta);
+                p = p2;
+            }
+            assert!((inc.total() - ll.eval(&p)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn extreme_p_values_stay_finite() {
+        let d = data(&[(&[1, 2], true), (&[1, 2], false)]);
+        let ll = LogLikelihood::new(&d);
+        for p in [[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]] {
+            let v = ll.eval(&p);
+            assert!(v.is_finite(), "p={p:?} gave {v}");
+            let mut g = vec![0.0; 2];
+            ll.grad(&p, &mut g);
+            assert!(g.iter().all(|x| x.is_finite()), "p={p:?} grad {g:?}");
+        }
+    }
+
+    #[test]
+    fn delta_of_identity_move_is_zero() {
+        let d = data(&[(&[1, 2], true)]);
+        let p = [0.4, 0.6];
+        let inc = IncrementalLikelihood::new(&d, &p);
+        assert!(inc.delta(0, 0.4).abs() < 1e-12);
+    }
+}

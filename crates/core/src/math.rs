@@ -1,0 +1,181 @@
+//! Numerical primitives for the samplers.
+//!
+//! The likelihood works in log space throughout: a path's non-damping
+//! probability is `exp(Σ log q_i)`, which underflows quickly for long
+//! paths with small `q`, so the damping branch `log(1 − ∏ q_i)` is
+//! evaluated as `log1mexp(Σ log q_i)` with the standard numerically-stable
+//! split.
+
+/// `log(1 − e^x)` for `x < 0`, numerically stable.
+///
+/// Uses the Mächler split: `log(−expm1(x))` for `x > −ln 2`, otherwise
+/// `log1p(−exp(x))`. Returns `−∞` at `x = 0` (the event is impossible) and
+/// `NaN` for `x > 0` (invalid input, debug-asserted).
+pub fn log1mexp(x: f64) -> f64 {
+    debug_assert!(x <= 0.0, "log1mexp needs x ≤ 0, got {x}");
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    const LN_2: f64 = std::f64::consts::LN_2;
+    if x > -LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + e^{−x})`, stable for large `|x|`.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The logit `ln(p / (1 − p))`, inverse of [`sigmoid`]. Input is clamped
+/// away from 0 and 1 so boundary values stay finite.
+pub fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    (p / (1.0 - p)).ln()
+}
+
+/// `log(e^a + e^b)` without overflow.
+pub fn logaddexp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let m = a.max(b);
+    m + ((a - m).exp() + (b - m).exp()).ln()
+}
+
+/// `log Γ(x)` via the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 for positive arguments — used by Beta prior normalisation.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs a positive argument, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `log B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log1mexp_matches_naive_in_safe_range() {
+        for &x in &[-0.1_f64, -0.5, -1.0, -3.0, -10.0] {
+            let naive = (1.0 - x.exp()).ln();
+            assert!((log1mexp(x) - naive).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn log1mexp_extremes() {
+        assert_eq!(log1mexp(0.0), f64::NEG_INFINITY);
+        // Tiny |x|: 1 − e^x ≈ −x; naive evaluation would lose precision.
+        let x = -1e-15;
+        assert!((log1mexp(x) - (-x).ln()).abs() < 1e-6);
+        // Very negative x: result ≈ −e^x ≈ 0⁻.
+        assert!(log1mexp(-100.0).abs() < 1e-40);
+    }
+
+    #[test]
+    fn sigmoid_logit_roundtrip() {
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-12, "p={p}");
+        }
+        // |x| ≤ 20 stays inside the 1e-12 boundary clamp of `logit`; the
+        // tolerance allows for the catastrophic cancellation in 1 − p
+        // near the saturated end.
+        for &x in &[-20.0, -1.0, 0.0, 1.0, 20.0] {
+            assert!((logit(sigmoid(x)) - x).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_saturates_without_nan() {
+        assert!((sigmoid(800.0) - 1.0).abs() < 1e-15);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(-800.0) < 1e-300);
+    }
+
+    #[test]
+    fn logit_clamps_boundaries() {
+        assert!(logit(0.0).is_finite());
+        assert!(logit(1.0).is_finite());
+        assert!(logit(0.0) < -20.0);
+        assert!(logit(1.0) > 20.0);
+    }
+
+    #[test]
+    fn logaddexp_basic() {
+        let v = logaddexp(1.0_f64.ln(), 2.0_f64.ln());
+        assert!((v - 3.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(logaddexp(f64::NEG_INFINITY, 5.0), 5.0);
+        assert_eq!(logaddexp(5.0, f64::NEG_INFINITY), 5.0);
+        // Large magnitudes must not overflow.
+        let v = logaddexp(1000.0, 1000.0);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) over a range of x.
+        for i in 1..50 {
+            let x = i as f64 * 0.3;
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_beta_symmetry_and_value() {
+        assert!((ln_beta(2.0, 3.0) - ln_beta(3.0, 2.0)).abs() < 1e-12);
+        // B(2,3) = 1/12.
+        assert!((ln_beta(2.0, 3.0) - (1.0 / 12.0_f64).ln()).abs() < 1e-10);
+        // B(1,1) = 1.
+        assert!(ln_beta(1.0, 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,262 @@
+//! The tomography data model: nodes, observed paths, and the index
+//! structures the samplers need.
+//!
+//! BeCAUSe is deliberately agnostic to what a "node" is — the paper uses
+//! AS numbers, the tests use small integers — so the model maps arbitrary
+//! `u32` node identifiers to dense indices. Duplicate observations
+//! (identical path with identical label) are collapsed into a weight,
+//! which leaves the likelihood unchanged while shrinking the working set;
+//! the paper's dataset has exactly this redundancy (the same path measured
+//! over many Burst–Break pairs).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque node identifier (an AS number in the BGP application).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One observed path with its binary label.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathObservation {
+    /// Nodes on the path (order irrelevant to the likelihood).
+    pub nodes: Vec<NodeId>,
+    /// True when the path *showed* property A (e.g. the RFD signature).
+    pub shows_property: bool,
+}
+
+impl PathObservation {
+    /// Convenience constructor.
+    pub fn new(nodes: Vec<NodeId>, shows_property: bool) -> Self {
+        PathObservation { nodes, shows_property }
+    }
+}
+
+/// A deduplicated path in dense-index space.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexedPath {
+    /// Dense node indices, sorted, unique.
+    pub nodes: Vec<usize>,
+    /// Label.
+    pub shows_property: bool,
+    /// How many identical observations this path stands for.
+    pub weight: u32,
+}
+
+/// The complete dataset in sampler-ready form.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PathData {
+    ids: Vec<NodeId>,
+    index_of: BTreeMap<NodeId, usize>,
+    paths: Vec<IndexedPath>,
+    /// For each node, the indices of the paths containing it.
+    node_paths: Vec<Vec<usize>>,
+}
+
+impl PathData {
+    /// Build from observations, excluding the given nodes entirely
+    /// (the paper's beacons are known not to damp — §3.2 "we know that our
+    /// Beacons do not dampen routes" — so beacon-site ASs are removed from
+    /// the inference rather than burdening it).
+    pub fn from_observations(
+        observations: &[PathObservation],
+        exclude: &[NodeId],
+    ) -> Self {
+        let excluded: std::collections::BTreeSet<NodeId> = exclude.iter().copied().collect();
+
+        // Assign dense indices in first-appearance order of sorted ids for
+        // determinism.
+        let mut all_ids: Vec<NodeId> = observations
+            .iter()
+            .flat_map(|o| o.nodes.iter().copied())
+            .filter(|n| !excluded.contains(n))
+            .collect();
+        all_ids.sort();
+        all_ids.dedup();
+        let index_of: BTreeMap<NodeId, usize> =
+            all_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        // Deduplicate (nodes, label) → weight.
+        let mut dedup: BTreeMap<(Vec<usize>, bool), u32> = BTreeMap::new();
+        for o in observations {
+            let mut nodes: Vec<usize> = o
+                .nodes
+                .iter()
+                .filter(|n| !excluded.contains(n))
+                .map(|n| index_of[n])
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            if nodes.is_empty() {
+                continue;
+            }
+            *dedup.entry((nodes, o.shows_property)).or_insert(0) += 1;
+        }
+
+        let paths: Vec<IndexedPath> = dedup
+            .into_iter()
+            .map(|((nodes, shows_property), weight)| IndexedPath { nodes, shows_property, weight })
+            .collect();
+
+        let mut node_paths = vec![Vec::new(); all_ids.len()];
+        for (j, path) in paths.iter().enumerate() {
+            for &i in &path.nodes {
+                node_paths[i].push(j);
+            }
+        }
+
+        PathData { ids: all_ids, index_of, paths, node_paths }
+    }
+
+    /// Number of distinct nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of deduplicated paths.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total observation count (sum of weights).
+    pub fn num_observations(&self) -> u64 {
+        self.paths.iter().map(|p| u64::from(p.weight)).sum()
+    }
+
+    /// The node id at dense index `i`.
+    pub fn id(&self, i: usize) -> NodeId {
+        self.ids[i]
+    }
+
+    /// All node ids in index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Dense index of a node id.
+    pub fn index(&self, id: NodeId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// The deduplicated paths.
+    pub fn paths(&self) -> &[IndexedPath] {
+        &self.paths
+    }
+
+    /// Paths containing node `i`.
+    pub fn paths_of(&self, i: usize) -> &[usize] {
+        &self.node_paths[i]
+    }
+
+    /// Share of observations labeled as showing the property.
+    pub fn property_share(&self) -> f64 {
+        let total = self.num_observations();
+        if total == 0 {
+            return 0.0;
+        }
+        let shown: u64 = self
+            .paths
+            .iter()
+            .filter(|p| p.shows_property)
+            .map(|p| u64::from(p.weight))
+            .sum();
+        shown as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn indexing_is_dense_and_sorted() {
+        let obs = vec![
+            PathObservation::new(n(&[30, 10]), false),
+            PathObservation::new(n(&[20, 10]), true),
+        ];
+        let d = PathData::from_observations(&obs, &[]);
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(d.id(0), NodeId(10));
+        assert_eq!(d.id(2), NodeId(30));
+        assert_eq!(d.index(NodeId(20)), Some(1));
+        assert_eq!(d.index(NodeId(99)), None);
+    }
+
+    #[test]
+    fn duplicates_collapse_into_weight() {
+        let obs = vec![
+            PathObservation::new(n(&[1, 2]), true),
+            PathObservation::new(n(&[2, 1]), true), // same set, same label
+            PathObservation::new(n(&[1, 2]), false), // same set, other label
+        ];
+        let d = PathData::from_observations(&obs, &[]);
+        assert_eq!(d.num_paths(), 2);
+        assert_eq!(d.num_observations(), 3);
+        let weights: Vec<u32> = d.paths().iter().map(|p| p.weight).collect();
+        assert!(weights.contains(&2) && weights.contains(&1));
+    }
+
+    #[test]
+    fn excluded_nodes_vanish() {
+        let obs = vec![PathObservation::new(n(&[1, 2, 65000]), true)];
+        let d = PathData::from_observations(&obs, &n(&[65000]));
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.paths()[0].nodes.len(), 2);
+        assert_eq!(d.index(NodeId(65000)), None);
+    }
+
+    #[test]
+    fn paths_reduced_to_nothing_are_dropped() {
+        let obs = vec![PathObservation::new(n(&[65000]), true)];
+        let d = PathData::from_observations(&obs, &n(&[65000]));
+        assert_eq!(d.num_paths(), 0);
+        assert_eq!(d.num_nodes(), 0);
+    }
+
+    #[test]
+    fn node_paths_inverted_index() {
+        let obs = vec![
+            PathObservation::new(n(&[1, 2]), true),
+            PathObservation::new(n(&[2, 3]), false),
+            PathObservation::new(n(&[1, 3]), false),
+        ];
+        let d = PathData::from_observations(&obs, &[]);
+        let i2 = d.index(NodeId(2)).unwrap();
+        let through_2: Vec<usize> = d.paths_of(i2).to_vec();
+        assert_eq!(through_2.len(), 2);
+        for &j in &through_2 {
+            assert!(d.paths()[j].nodes.contains(&i2));
+        }
+    }
+
+    #[test]
+    fn property_share() {
+        let obs = vec![
+            PathObservation::new(n(&[1]), true),
+            PathObservation::new(n(&[1]), true),
+            PathObservation::new(n(&[2]), false),
+            PathObservation::new(n(&[3]), false),
+        ];
+        let d = PathData::from_observations(&obs, &[]);
+        assert!((d.property_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_nodes_in_one_path_dedup() {
+        // Prepending artifacts must not double-count a node.
+        let obs = vec![PathObservation::new(n(&[5, 5, 6]), true)];
+        let d = PathData::from_observations(&obs, &[]);
+        assert_eq!(d.paths()[0].nodes.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The inconsistent-damper pass (§5.1.2 step 2, Eq. 8).
+//!
+//! Binary tomography guarantees that every property-showing path contains
+//! at least one property node. After the Table-1 categorisation, a path
+//! may end up *unexplained*: labeled as showing the property, yet with no
+//! category-4/5 AS on it. That happens precisely for ASs that apply the
+//! property **inconsistently** (the paper's AS-701: damps every neighbor
+//! but one) — their marginal mean is dragged down by the many clean paths
+//! through the undamped neighbor.
+//!
+//! The fix uses the *joint* posterior: for each unexplained showing path
+//! `J`, count across samples how often each AS `X ∈ J` is the most likely
+//! culprit (the arg-max of `p` over the path, equivalently the arg-min of
+//! `q` — the paper's Eq. 8 writes `min` because it works in `q`). If one
+//! AS is the culprit in more than 80 % of samples, it is flagged
+//! Category 4.
+
+use std::collections::BTreeMap;
+
+use crate::category::Category;
+use crate::chain::Chain;
+use crate::model::{NodeId, PathData};
+
+/// Posterior probability threshold of Eq. 8.
+pub const PINPOINT_THRESHOLD: f64 = 0.8;
+
+/// Result of the pinpointing pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PinpointResult {
+    /// ASs upgraded to Category 4, with the posterior probability that
+    /// they are the most likely cause on some unexplained path.
+    pub flagged: BTreeMap<NodeId, f64>,
+    /// Paths (by dataset index) that remained unexplained even after the
+    /// pass.
+    pub unexplained_paths: Vec<usize>,
+}
+
+/// Run the inconsistent-damper pass.
+///
+/// * `categories` — the Table-1 category per node index (pre-pass);
+/// * `chains` — pooled joint posterior samples.
+pub fn pinpoint_inconsistent(
+    data: &PathData,
+    categories: &[Category],
+    chains: &[&Chain],
+) -> PinpointResult {
+    assert_eq!(categories.len(), data.num_nodes());
+    let mut result = PinpointResult::default();
+
+    // Gather all samples (by reference).
+    let samples: Vec<&Vec<f64>> = chains.iter().flat_map(|c| c.samples.iter()).collect();
+    if samples.is_empty() {
+        return result;
+    }
+
+    for (j, path) in data.paths().iter().enumerate() {
+        if !path.shows_property {
+            continue;
+        }
+        // Explained if any AS on the path is already category 4/5.
+        if path.nodes.iter().any(|&i| categories[i].is_property()) {
+            continue;
+        }
+        if path.nodes.len() == 1 {
+            // Single-AS path: the culprit is trivially that AS.
+            let i = path.nodes[0];
+            result.flagged.entry(data.id(i)).or_insert(1.0);
+            continue;
+        }
+        // Count arg-max-p frequencies across the joint samples.
+        let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+        for s in &samples {
+            let culprit = path
+                .nodes
+                .iter()
+                .copied()
+                .max_by(|&a, &b| s[a].partial_cmp(&s[b]).expect("finite"))
+                .expect("non-empty path");
+            *counts.entry(culprit).or_insert(0) += 1;
+        }
+        let (best, count) = counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .expect("at least one culprit");
+        let prob = count as f64 / samples.len() as f64;
+        if prob > PINPOINT_THRESHOLD {
+            let entry = result.flagged.entry(data.id(best)).or_insert(prob);
+            if prob > *entry {
+                *entry = prob;
+            }
+        } else {
+            result.unexplained_paths.push(j);
+        }
+    }
+    result
+}
+
+/// Apply the pass to a category vector: flagged nodes are raised to C4
+/// (never lowered).
+pub fn apply_pinpoint(
+    data: &PathData,
+    categories: &mut [Category],
+    result: &PinpointResult,
+) {
+    for id in result.flagged.keys() {
+        if let Some(i) = data.index(*id) {
+            categories[i] = categories[i].max(Category::C4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::SamplerKind;
+    use crate::model::PathObservation;
+
+    fn data(paths: &[(&[u32], bool)]) -> PathData {
+        let obs: Vec<PathObservation> = paths
+            .iter()
+            .map(|(ids, label)| {
+                PathObservation::new(ids.iter().map(|&i| NodeId(i)).collect(), *label)
+            })
+            .collect();
+        PathData::from_observations(&obs, &[])
+    }
+
+    /// A synthetic chain whose samples are given explicitly.
+    fn chain(samples: Vec<Vec<f64>>) -> Chain {
+        Chain { kind: SamplerKind::Hmc, samples, accept_rate: 1.0 }
+    }
+
+    #[test]
+    fn explained_paths_are_skipped() {
+        let d = data(&[(&[1, 2], true)]);
+        let i1 = d.index(NodeId(1)).unwrap();
+        let mut cats = vec![Category::C3; 2];
+        cats[i1] = Category::C5; // path explained by node 1
+        let c = chain(vec![vec![0.5, 0.5]; 10]);
+        let r = pinpoint_inconsistent(&d, &cats, &[&c]);
+        assert!(r.flagged.is_empty());
+        assert!(r.unexplained_paths.is_empty());
+    }
+
+    #[test]
+    fn dominant_culprit_is_flagged() {
+        // Path {1,2} shows; in ~95 % of samples node 1 has the larger p.
+        let d = data(&[(&[1, 2], true)]);
+        let i1 = d.index(NodeId(1)).unwrap();
+        let i2 = d.index(NodeId(2)).unwrap();
+        let mut samples = Vec::new();
+        for k in 0..100 {
+            let mut s = vec![0.0; 2];
+            if k < 95 {
+                s[i1] = 0.6;
+                s[i2] = 0.2;
+            } else {
+                s[i1] = 0.2;
+                s[i2] = 0.6;
+            }
+            samples.push(s);
+        }
+        let cats = vec![Category::C3; 2];
+        let c = chain(samples);
+        let r = pinpoint_inconsistent(&d, &cats, &[&c]);
+        assert_eq!(r.flagged.len(), 1);
+        assert!((r.flagged[&NodeId(1)] - 0.95).abs() < 1e-9);
+        assert!(r.unexplained_paths.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_path_stays_unexplained() {
+        // 50/50 split: no culprit above 0.8.
+        let d = data(&[(&[1, 2], true)]);
+        let mut samples = Vec::new();
+        for k in 0..100 {
+            samples.push(if k % 2 == 0 { vec![0.6, 0.2] } else { vec![0.2, 0.6] });
+        }
+        let cats = vec![Category::C3; 2];
+        let c = chain(samples);
+        let r = pinpoint_inconsistent(&d, &cats, &[&c]);
+        assert!(r.flagged.is_empty());
+        assert_eq!(r.unexplained_paths.len(), 1);
+    }
+
+    #[test]
+    fn single_as_path_is_trivially_flagged() {
+        let d = data(&[(&[7], true)]);
+        let cats = vec![Category::C3];
+        let c = chain(vec![vec![0.5]; 5]);
+        let r = pinpoint_inconsistent(&d, &cats, &[&c]);
+        assert_eq!(r.flagged[&NodeId(7)], 1.0);
+    }
+
+    #[test]
+    fn apply_raises_but_never_lowers() {
+        let d = data(&[(&[1], true), (&[2], true)]);
+        let i1 = d.index(NodeId(1)).unwrap();
+        let i2 = d.index(NodeId(2)).unwrap();
+        let mut cats = vec![Category::C3; 2];
+        cats[i2] = Category::C5;
+        let mut result = PinpointResult::default();
+        result.flagged.insert(NodeId(1), 0.9);
+        result.flagged.insert(NodeId(2), 0.9);
+        apply_pinpoint(&d, &mut cats, &result);
+        assert_eq!(cats[i1], Category::C4);
+        assert_eq!(cats[i2], Category::C5, "must not lower C5 to C4");
+    }
+
+    #[test]
+    fn non_showing_paths_never_flag() {
+        let d = data(&[(&[1, 2], false)]);
+        let cats = vec![Category::C3; 2];
+        let c = chain(vec![vec![0.9, 0.9]; 10]);
+        let r = pinpoint_inconsistent(&d, &cats, &[&c]);
+        assert!(r.flagged.is_empty());
+    }
+}

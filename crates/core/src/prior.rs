@@ -1,0 +1,140 @@
+//! Prior distributions over each node's proportion `p_i`.
+//!
+//! The paper (§3.2) tests uniform and Beta priors and finds the data
+//! dominates for most ASs; the prior mainly shapes the *no-data* marginals
+//! (Fig. 9(d) shows a recovered Beta prior). The default used throughout
+//! the reproduction is `Beta(1, 4)` — mass near zero, encoding "most ASs
+//! do not damp" — with the uniform available for sensitivity runs.
+
+use netsim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::likelihood::clamp_p;
+use crate::math::ln_beta;
+
+/// An independent per-node prior on `p ∈ [0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Prior {
+    /// Uniform on `[0, 1]` (uninformative).
+    Uniform,
+    /// `Beta(alpha, beta)`.
+    Beta {
+        /// Shape α.
+        alpha: f64,
+        /// Shape β.
+        beta: f64,
+    },
+}
+
+impl Default for Prior {
+    fn default() -> Self {
+        // "Most ASs do not damp": mean 0.2, decreasing density.
+        Prior::Beta { alpha: 1.0, beta: 4.0 }
+    }
+}
+
+impl Prior {
+    /// Log density at `p` (normalised).
+    pub fn log_density(&self, p: f64) -> f64 {
+        let p = clamp_p(p);
+        match *self {
+            Prior::Uniform => 0.0,
+            Prior::Beta { alpha, beta } => {
+                (alpha - 1.0) * p.ln() + (beta - 1.0) * (1.0 - p).ln() - ln_beta(alpha, beta)
+            }
+        }
+    }
+
+    /// `d log density / d p`.
+    pub fn grad(&self, p: f64) -> f64 {
+        let p = clamp_p(p);
+        match *self {
+            Prior::Uniform => 0.0,
+            Prior::Beta { alpha, beta } => (alpha - 1.0) / p - (beta - 1.0) / (1.0 - p),
+        }
+    }
+
+    /// Total log density of a vector under independent priors.
+    pub fn log_density_vec(&self, p: &[f64]) -> f64 {
+        p.iter().map(|&pi| self.log_density(pi)).sum()
+    }
+
+    /// Draw an initial state from the prior.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Prior::Uniform => rng.uniform(),
+            Prior::Beta { alpha, beta } => rng.beta(alpha, beta),
+        }
+    }
+
+    /// The prior mean (useful as a reference line in reports).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Prior::Uniform => 0.5,
+            Prior::Beta { alpha, beta } => alpha / (alpha + beta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_flat() {
+        let u = Prior::Uniform;
+        assert_eq!(u.log_density(0.2), 0.0);
+        assert_eq!(u.log_density(0.9), 0.0);
+        assert_eq!(u.grad(0.3), 0.0);
+        assert_eq!(u.mean(), 0.5);
+    }
+
+    #[test]
+    fn beta_density_integrates_to_one() {
+        // Trapezoid integration of exp(log_density) over (0,1).
+        let b = Prior::Beta { alpha: 2.0, beta: 5.0 };
+        let n = 20_000;
+        let mut sum = 0.0;
+        for k in 1..n {
+            let p = k as f64 / n as f64;
+            sum += b.log_density(p).exp();
+        }
+        let integral = sum / n as f64;
+        assert!((integral - 1.0).abs() < 1e-3, "integral={integral}");
+    }
+
+    #[test]
+    fn beta_gradient_matches_finite_difference() {
+        let b = Prior::Beta { alpha: 2.0, beta: 5.0 };
+        let h = 1e-7;
+        for &p in &[0.1, 0.3, 0.7, 0.9] {
+            let fd = (b.log_density(p + h) - b.log_density(p - h)) / (2.0 * h);
+            assert!((b.grad(p) - fd).abs() < 1e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn beta_mean() {
+        let b = Prior::Beta { alpha: 1.0, beta: 4.0 };
+        assert!((b.mean() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_match_prior_mean() {
+        let mut rng = SimRng::new(5);
+        let b = Prior::default();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - b.mean()).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn density_finite_at_boundaries() {
+        for prior in [Prior::Uniform, Prior::default(), Prior::Beta { alpha: 2.0, beta: 2.0 }] {
+            assert!(prior.log_density(0.0).is_finite());
+            assert!(prior.log_density(1.0).is_finite());
+            assert!(prior.grad(0.0).is_finite());
+            assert!(prior.grad(1.0).is_finite());
+        }
+    }
+}

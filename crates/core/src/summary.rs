@@ -1,0 +1,127 @@
+//! Posterior summaries: mean and Highest Posterior Density Interval.
+//!
+//! The paper (§5.1.2) summarises each marginal `P(p_i | D)` by its mean
+//! and its 95 % HPDI — the *shortest* interval containing 95 % of the
+//! posterior mass. The width of the HPDI doubles as the uncertainty
+//! measure: Fig. 11's y-axis is `1 − |HPDI|` ("certainty").
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one marginal posterior.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Marginal {
+    /// Posterior mean.
+    pub mean: f64,
+    /// HPDI lower bound.
+    pub hpdi_low: f64,
+    /// HPDI upper bound.
+    pub hpdi_high: f64,
+    /// Mass level the HPDI was computed for (e.g. 0.95).
+    pub level: f64,
+}
+
+impl Marginal {
+    /// Compute mean and HPDI from marginal draws.
+    ///
+    /// The HPDI of an empirical sample is found by sliding a window of
+    /// `⌈γ·n⌉` consecutive order statistics and taking the narrowest.
+    pub fn from_samples(samples: &[f64], level: f64) -> Marginal {
+        assert!(!samples.is_empty(), "no samples to summarise");
+        assert!((0.0..=1.0).contains(&level), "level must be a probability");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite draws"));
+        let k = ((level * n as f64).ceil() as usize).clamp(1, n);
+        let mut best = (sorted[0], sorted[n - 1]);
+        let mut best_width = f64::INFINITY;
+        for start in 0..=(n - k) {
+            let lo = sorted[start];
+            let hi = sorted[start + k - 1];
+            if hi - lo < best_width {
+                best_width = hi - lo;
+                best = (lo, hi);
+            }
+        }
+        Marginal { mean, hpdi_low: best.0, hpdi_high: best.1, level }
+    }
+
+    /// HPDI width.
+    pub fn hpdi_width(&self) -> f64 {
+        self.hpdi_high - self.hpdi_low
+    }
+
+    /// The paper's certainty measure: `1 − |HPDI|`.
+    pub fn certainty(&self) -> f64 {
+        (1.0 - self.hpdi_width()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimRng;
+
+    #[test]
+    fn point_mass_has_full_certainty() {
+        let m = Marginal::from_samples(&[0.7; 100], 0.95);
+        assert!((m.mean - 0.7).abs() < 1e-12);
+        assert_eq!(m.hpdi_width(), 0.0);
+        assert_eq!(m.certainty(), 1.0);
+    }
+
+    #[test]
+    fn hpdi_covers_level_mass() {
+        let mut rng = SimRng::new(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.beta(2.0, 8.0)).collect();
+        let m = Marginal::from_samples(&samples, 0.95);
+        let inside = samples
+            .iter()
+            .filter(|&&x| x >= m.hpdi_low && x <= m.hpdi_high)
+            .count() as f64
+            / samples.len() as f64;
+        assert!(inside >= 0.95 && inside < 0.97, "coverage {inside}");
+    }
+
+    #[test]
+    fn hpdi_is_shorter_than_equal_tails_for_skewed() {
+        let mut rng = SimRng::new(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.beta(1.0, 9.0)).collect();
+        let m = Marginal::from_samples(&samples, 0.95);
+        // Equal-tailed interval.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted[(0.025 * sorted.len() as f64) as usize];
+        let hi = sorted[(0.975 * sorted.len() as f64) as usize];
+        assert!(m.hpdi_width() <= (hi - lo) + 1e-9);
+        // For a mode-at-zero Beta the HPDI starts at ~0.
+        assert!(m.hpdi_low < 0.01, "hpdi_low={}", m.hpdi_low);
+    }
+
+    #[test]
+    fn mean_matches_sample_mean() {
+        let samples = vec![0.1, 0.2, 0.3, 0.4];
+        let m = Marginal::from_samples(&samples, 0.5);
+        assert!((m.mean - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_posterior_yields_high_certainty() {
+        let mut rng = SimRng::new(3);
+        let tight: Vec<f64> = (0..5_000).map(|_| 0.9 + 0.01 * rng.gaussian()).collect();
+        let spread: Vec<f64> = (0..5_000).map(|_| rng.uniform()).collect();
+        let mt = Marginal::from_samples(&tight, 0.95);
+        let ms = Marginal::from_samples(&spread, 0.95);
+        assert!(mt.certainty() > 0.9);
+        assert!(ms.certainty() < 0.1);
+    }
+
+    #[test]
+    fn single_sample_degenerates_gracefully() {
+        let m = Marginal::from_samples(&[0.42], 0.95);
+        assert_eq!(m.mean, 0.42);
+        assert_eq!(m.hpdi_low, 0.42);
+        assert_eq!(m.hpdi_high, 0.42);
+    }
+}

@@ -1,0 +1,86 @@
+#![allow(dead_code)] // each binary uses a subset of the shared helpers
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts two environment variables so runs stay scriptable
+//! without an argument-parsing dependency:
+//!
+//! * `REPRO_SEED`  — experiment seed (default 2020, the paper's year);
+//! * `REPRO_SCALE` — `tiny` | `small` | `paper` (default `small`):
+//!   topology size and campaign length. `paper` approaches the real
+//!   study's scale and takes correspondingly longer.
+
+use because::{AnalysisConfig, Prior};
+use because::chain::ChainConfig;
+use experiments::pipeline::ExperimentConfig;
+use netsim::SimDuration;
+use topology::TopologyConfig;
+
+/// Read the seed from `REPRO_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("REPRO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2020)
+}
+
+/// The scale name from `REPRO_SCALE`.
+pub fn scale() -> String {
+    std::env::var("REPRO_SCALE").unwrap_or_else(|_| "small".to_string())
+}
+
+/// Topology for the current scale.
+pub fn topology_config(seed: u64) -> TopologyConfig {
+    match scale().as_str() {
+        "tiny" => TopologyConfig::tiny(seed),
+        "paper" => TopologyConfig {
+            n_tier1: 8,
+            n_transit: 150,
+            n_stub: 500,
+            n_beacon_sites: 7,
+            n_vantage_points: 80,
+            seed,
+            ..TopologyConfig::default()
+        },
+        _ => TopologyConfig {
+            n_tier1: 6,
+            n_transit: 60,
+            n_stub: 150,
+            n_beacon_sites: 7,
+            n_vantage_points: 40,
+            seed,
+            ..TopologyConfig::default()
+        },
+    }
+}
+
+/// Campaign cycles for the current scale.
+pub fn cycles() -> usize {
+    match scale().as_str() {
+        "tiny" => 3,
+        "paper" => 8,
+        _ => 4,
+    }
+}
+
+/// A single-interval experiment at the current scale.
+pub fn experiment(interval_mins: u64, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::single_interval(interval_mins, seed);
+    cfg.topology = topology_config(seed);
+    cfg.cycles = cycles();
+    cfg.break_duration = SimDuration::from_hours(2);
+    cfg
+}
+
+/// Analysis settings matched to the scale.
+pub fn analysis_config(seed: u64) -> AnalysisConfig {
+    let chain = match scale().as_str() {
+        "tiny" => ChainConfig { warmup: 200, samples: 400, thin: 1 },
+        "paper" => ChainConfig { warmup: 800, samples: 1500, thin: 1 },
+        _ => ChainConfig { warmup: 400, samples: 800, thin: 1 },
+    };
+    AnalysisConfig { prior: Prior::default(), chain, n_chains: 2, seed, ..Default::default() }
+}
+
+/// Print the standard experiment banner.
+pub fn banner(what: &str) {
+    println!("== {what} ==");
+    println!("scale={} seed={}", scale(), seed());
+    println!();
+}

@@ -1,0 +1,80 @@
+//! Fig. 2 — the RFD penalty from a router's perspective.
+//!
+//! Reproduces the paper's illustration: a prefix flaps every 2 minutes
+//! for 40 minutes, then goes quiet. The penalty climbs by 1000 per flap
+//! with exponential decay in between, crosses the suppress threshold
+//! (t1), saturates, and after the oscillation stops decays down to the
+//! reuse threshold (t3) where the prefix is released.
+
+use bgpsim::rfd::{FlapKind, RfdState};
+use bgpsim::VendorProfile;
+use netsim::{SimDuration, SimTime};
+
+#[path = "common/mod.rs"]
+mod common;
+
+fn main() {
+    common::banner("Figure 2: RFD penalty trace (Cisco defaults)");
+    let params = VendorProfile::Cisco.params();
+    let mut state = RfdState::new();
+
+    let interval = SimDuration::from_mins(2);
+    let flap_until = SimTime::from_mins(40);
+    let horizon = SimTime::from_mins(120);
+
+    let mut events: Vec<(SimTime, FlapKind)> = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut withdraw = true;
+    while t < flap_until {
+        events.push((
+            t,
+            if withdraw { FlapKind::Withdrawal } else { FlapKind::Readvertisement },
+        ));
+        withdraw = !withdraw;
+        t = t + interval;
+    }
+
+    println!("time_min  penalty  suppressed  event");
+    let mut suppressed_at: Option<SimTime> = None;
+    let mut released_at: Option<SimTime> = None;
+    let mut clock = SimTime::ZERO;
+    let mut event_iter = events.into_iter().peekable();
+    while clock <= horizon {
+        let mut label = String::new();
+        while let Some(&(at, kind)) = event_iter.peek() {
+            if at > clock {
+                break;
+            }
+            event_iter.next();
+            let tr = state.record(kind, at, &params);
+            label = format!("{kind:?} -> {tr:?}");
+            if tr == bgpsim::rfd::RfdTransition::Suppressed {
+                suppressed_at = Some(at);
+            }
+        }
+        if state.is_suppressed() && state.tick(clock, &params) {
+            label = "Released".to_string();
+            released_at = Some(clock);
+        }
+        println!(
+            "{:>8.1}  {:>7.0}  {:>10}  {label}",
+            clock.as_mins_f64(),
+            state.penalty_at(clock, &params),
+            if state.is_suppressed() { "yes" } else { "no" }
+        );
+        clock = clock + SimDuration::from_mins(2);
+    }
+
+    println!();
+    println!("suppress-threshold = {}", params.suppress_threshold);
+    println!("reuse-threshold    = {}", params.reuse_threshold);
+    println!("penalty ceiling    = {:.0}", params.penalty_ceiling());
+    if let (Some(s), Some(r)) = (suppressed_at, released_at) {
+        println!("t1 (suppressed) = {s}, t3 (released) = {r}");
+        println!(
+            "suppression lasted {:.1} min (max-suppress-time {} min)",
+            r.saturating_since(s).as_mins_f64(),
+            params.max_suppress_time.as_mins_f64()
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Running BeCAUSe and the heuristics on a campaign's labeled paths.
+
+use std::collections::BTreeSet;
+
+use because::{Analysis, AnalysisConfig, NodeId, PathData, PathObservation};
+use bgpsim::AsId;
+use heuristics::{evaluate, HeuristicConfig, HeuristicScores};
+
+use crate::pipeline::CampaignOutput;
+
+/// Joint inference output.
+#[derive(Debug)]
+pub struct InferenceOutput {
+    /// The dataset fed to BeCAUSe.
+    pub data: PathData,
+    /// The BeCAUSe analysis.
+    pub analysis: Analysis,
+    /// Heuristic scores.
+    pub heuristics: HeuristicScores,
+    /// Heuristic decision threshold used.
+    pub heuristic_threshold: f64,
+}
+
+impl InferenceOutput {
+    /// ASs BeCAUSe flags (category 4/5).
+    pub fn because_flagged(&self) -> BTreeSet<AsId> {
+        self.analysis.property_nodes().iter().map(|n| AsId(n.0)).collect()
+    }
+
+    /// ASs the heuristics flag.
+    pub fn heuristics_flagged(&self) -> BTreeSet<AsId> {
+        self.heuristics.rfd_ases(self.heuristic_threshold).into_iter().collect()
+    }
+}
+
+/// Build the BeCAUSe dataset from labeled paths: one observation per
+/// Burst–Break pair (paths measured over many pairs carry more weight),
+/// beacon-site ASs excluded (known non-damping, §3.2).
+pub fn path_data_from_labels(output: &CampaignOutput) -> PathData {
+    let exclude: Vec<NodeId> =
+        output.topology.beacon_sites.iter().map(|a| NodeId(a.0)).collect();
+    let observations: Vec<PathObservation> = output
+        .labels
+        .iter()
+        .flat_map(|l| {
+            let nodes: Vec<NodeId> = l.path.asns().iter().map(|a| NodeId(a.0)).collect();
+            // Weight by the number of pairs backing the label: matching
+            // pairs are "shows", the rest are "does not show". This keeps
+            // per-pair information without pretending one path is one
+            // observation.
+            let shows = l.pairs_matching;
+            let clean = l.pairs_total - l.pairs_matching;
+            std::iter::repeat(PathObservation::new(nodes.clone(), true))
+                .take(shows)
+                .chain(std::iter::repeat(PathObservation::new(nodes, false)).take(clean))
+        })
+        .collect();
+    PathData::from_observations(&observations, &exclude)
+}
+
+/// Run BeCAUSe and the three heuristics on a campaign output.
+pub fn infer_becauase_and_heuristics(
+    output: &CampaignOutput,
+    analysis_config: &AnalysisConfig,
+    heuristic_config: &HeuristicConfig,
+) -> InferenceOutput {
+    let data = path_data_from_labels(output);
+    let analysis = Analysis::run(&data, analysis_config);
+    let schedules: Vec<&beacon::BeaconSchedule> = output.campaign.beacon_schedules().collect();
+    let heuristics = evaluate(&output.labels, &output.dump, &schedules, heuristic_config);
+    InferenceOutput {
+        data,
+        analysis,
+        heuristics,
+        heuristic_threshold: heuristic_config.threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_campaign, ExperimentConfig};
+
+    #[test]
+    fn end_to_end_inference_flags_a_real_damper() {
+        let out = run_campaign(&ExperimentConfig::small(1, 21));
+        let inf = infer_becauase_and_heuristics(
+            &out,
+            &AnalysisConfig::fast(21),
+            &HeuristicConfig::default(),
+        );
+        assert!(inf.data.num_paths() > 0);
+        let truth = out.deployment.ground_truth();
+        let flagged = inf.because_flagged();
+        // Precision-style sanity: flagged ASs should overwhelmingly be
+        // true dampers (the strict check lives in metrics tests).
+        if !flagged.is_empty() {
+            let tp = flagged.intersection(&truth).count();
+            assert!(
+                tp * 2 >= flagged.len(),
+                "flagged {flagged:?} vs truth {truth:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn beacon_sites_excluded_from_data() {
+        let out = run_campaign(&ExperimentConfig::small(1, 22));
+        let data = path_data_from_labels(&out);
+        for site in &out.topology.beacon_sites {
+            assert!(data.index(NodeId(site.0)).is_none());
+        }
+    }
+
+    #[test]
+    fn weights_reflect_pair_counts() {
+        let out = run_campaign(&ExperimentConfig::small(1, 23));
+        let data = path_data_from_labels(&out);
+        let total_pairs: u64 = out.labels.iter().map(|l| l.pairs_total as u64).sum();
+        assert_eq!(data.num_observations(), total_pairs);
+    }
+}

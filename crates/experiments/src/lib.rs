@@ -1,0 +1,33 @@
+//! # experiments — end-to-end reproduction pipelines
+//!
+//! This crate assembles the substrate crates into the paper's experiments:
+//!
+//! 1. [`deployment`] plants a ground-truth **RFD deployment** into a
+//!    topology: which ASs damp, with which parameter set (the §6.2 mix —
+//!    ~60 % deprecated vendor defaults, the rest following the
+//!    RFC 7454/RIPE recommendations), which damp **inconsistently**
+//!    (per-neighbor, the AS-701 pattern), plus the max-suppress-time mix
+//!    behind Fig. 13 and MRAI deployment.
+//! 2. [`pipeline`] runs a measurement campaign end to end: simulate the
+//!    beacons through the network, collect dumps at the vantage points,
+//!    and label paths with the RFD signature.
+//! 3. [`infer`] feeds the labeled paths to BeCAUSe and to the heuristics
+//!    and evaluates both against the deployment oracle ([`metrics`]).
+//! 4. [`coverage`] computes the measurement-infrastructure statistics
+//!    (Fig. 6 link similarity, Fig. 7 project overlap, Fig. 8
+//!    propagation delays).
+//! 5. [`report`] renders aligned text tables for the per-figure binaries
+//!    (`src/bin/fig*.rs`, `src/bin/table*.rs`), each of which regenerates
+//!    one table or figure of the paper.
+
+pub mod coverage;
+pub mod deployment;
+pub mod infer;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+
+pub use deployment::{AsDeployment, DampMode, Deployment, DeploymentConfig};
+pub use infer::{infer_becauase_and_heuristics, InferenceOutput};
+pub use metrics::{detectable_universe, evaluate_against_oracle, OracleEvaluation};
+pub use pipeline::{run_campaign, CampaignOutput, ExperimentConfig};

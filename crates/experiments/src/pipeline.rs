@@ -1,0 +1,244 @@
+//! The end-to-end measurement pipeline: topology → deployment → beacons →
+//! simulation → collector dumps → labeled paths.
+
+use serde::{Deserialize, Serialize};
+
+use beacon::Campaign;
+use collector::{CollectorConfig, CollectorSet, Dump};
+use netsim::{SimDuration, SimTime};
+use signature::{label_dump, LabeledPath, LabelingConfig};
+use topology::{generate, Topology, TopologyConfig};
+
+use crate::deployment::{Deployment, DeploymentConfig};
+
+/// Everything an experiment needs to run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Topology generator settings.
+    pub topology: TopologyConfig,
+    /// RFD/MRAI deployment model.
+    pub deployment: DeploymentConfig,
+    /// Beacon update intervals to run simultaneously (one prefix per
+    /// interval per site, like the paper's 3-prefix campaigns).
+    pub intervals: Vec<SimDuration>,
+    /// Break duration between bursts.
+    pub break_duration: SimDuration,
+    /// Number of Burst–Break cycles.
+    pub cycles: usize,
+    /// Collector noise model.
+    pub collector: CollectorConfig,
+    /// Signature-detection thresholds.
+    pub labeling: LabelingConfig,
+    /// Master seed (propagated to all subsystems).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale default: March-campaign geometry at one interval.
+    pub fn single_interval(interval_mins: u64, seed: u64) -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig::default_with_seed(seed),
+            deployment: DeploymentConfig { seed, ..Default::default() },
+            intervals: vec![SimDuration::from_mins(interval_mins)],
+            break_duration: SimDuration::from_hours(2),
+            cycles: 4,
+            collector: CollectorConfig { seed, ..Default::default() },
+            labeling: LabelingConfig::default(),
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small(interval_mins: u64, seed: u64) -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig::tiny(seed),
+            deployment: DeploymentConfig { rfd_share: 0.25, seed, ..Default::default() },
+            intervals: vec![SimDuration::from_mins(interval_mins)],
+            break_duration: SimDuration::from_hours(2),
+            cycles: 3,
+            collector: CollectorConfig { seed, ..CollectorConfig::clean() },
+            labeling: LabelingConfig::default(),
+            seed,
+        }
+    }
+}
+
+/// The pipeline's output: everything downstream analyses consume.
+#[derive(Clone, Debug)]
+pub struct CampaignOutput {
+    /// The generated topology.
+    pub topology: Topology,
+    /// The planted deployment (the oracle).
+    pub deployment: Deployment,
+    /// The beacon campaign that was run.
+    pub campaign: Campaign,
+    /// The collector dump.
+    pub dump: Dump,
+    /// Labeled paths, across all beacon prefixes.
+    pub labels: Vec<LabeledPath>,
+    /// Simulator statistics: events processed.
+    pub events_processed: u64,
+    /// Simulator statistics: BGP updates delivered.
+    pub updates_delivered: u64,
+}
+
+impl CampaignOutput {
+    /// Labels restricted to one beacon prefix.
+    pub fn labels_for(&self, prefix: bgpsim::Prefix) -> Vec<&LabeledPath> {
+        self.labels.iter().filter(|l| l.prefix == prefix).collect()
+    }
+
+    /// Share of labeled paths that are RFD.
+    pub fn rfd_path_share(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|l| l.rfd).count() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Run the full measurement pipeline.
+pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
+    // 1. Topology + deployment.
+    let topology = generate(&config.topology);
+    let deployment = Deployment::assign(&topology, &config.deployment);
+
+    // 2. Network with the deployment's session policies and realistic
+    //    per-hop processing delays (Fig. 8's seconds-scale propagation).
+    let net_config = bgpsim::NetworkConfig {
+        jitter: 0.5,
+        ..bgpsim::NetworkConfig::realistic(config.seed)
+    };
+    let mut net = topology.instantiate(net_config, deployment.policy_hook());
+
+    // 3. Beacon campaign.
+    let campaign = Campaign::new(
+        &topology.beacon_sites,
+        &config.intervals,
+        config.break_duration,
+        SimTime::ZERO,
+        config.cycles,
+    );
+    campaign.apply(&mut net);
+
+    // 4. Run to quiescence (the queue drains once all RFD reuse timers
+    //    past the last break have fired).
+    net.run_to_quiescence();
+    let events_processed = net.events_processed();
+    let updates_delivered = net.delivered();
+
+    // 5. Collector processing.
+    let taps = net.take_tap_log();
+    let collectors = CollectorSet::assign(&topology.vantage_points, config.seed);
+    let horizon = campaign.end();
+    let dump = collectors.process(&taps, &config.collector, horizon);
+
+    // 6. Signature detection per beacon prefix.
+    let mut labels = Vec::new();
+    for schedule in campaign.beacon_schedules() {
+        labels.extend(label_dump(&dump, schedule, &config.labeling));
+    }
+
+    CampaignOutput {
+        topology,
+        deployment,
+        campaign,
+        dump,
+        labels,
+        events_processed,
+        updates_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pipeline_produces_labels_and_finds_dampers() {
+        let cfg = ExperimentConfig::small(1, 11);
+        let out = run_campaign(&cfg);
+        assert!(!out.labels.is_empty(), "no labeled paths");
+        assert!(out.events_processed > 0);
+        assert!(out.updates_delivered > 0);
+
+        // Oracle sanity: with dampers planted, some paths must be RFD.
+        let truth = out.deployment.ground_truth();
+        assert!(!truth.is_empty());
+        let rfd_paths: Vec<_> = out.labels.iter().filter(|l| l.rfd).collect();
+        assert!(!rfd_paths.is_empty(), "no RFD paths despite planted dampers");
+
+        // Soundness: every RFD-labeled path crosses a session that the
+        // oracle says damps (receiver side, consecutive pair on path).
+        for l in &rfd_paths {
+            let asns = l.path.asns();
+            let crossed_damper = asns.windows(2).any(|w| {
+                // w[0] receives from w[1] (path is vantage → origin).
+                out.deployment.damps_session(w[0], w[1]).is_some()
+            });
+            assert!(crossed_damper, "RFD path {} crosses no damping session", l.path);
+        }
+    }
+
+    #[test]
+    fn non_rfd_paths_avoid_triggered_dampers() {
+        let cfg = ExperimentConfig::small(1, 12);
+        let out = run_campaign(&cfg);
+        let interval = cfg.intervals[0];
+        // ASs whose parameters trigger at this interval:
+        let triggered = out.deployment.triggered_at(interval);
+        for l in out.labels.iter().filter(|l| !l.rfd) {
+            let asns = l.path.asns();
+            for w in asns.windows(2) {
+                if let Some(params) = out.deployment.damps_session(w[0], w[1]) {
+                    // A damping session on a non-RFD path must be one that
+                    // doesn't trigger at this interval.
+                    assert!(
+                        !params.triggers_at(interval) || !triggered.contains(&w[0]),
+                        "path {} via damping session {}←{} labeled non-RFD",
+                        l.path,
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_interval_produces_fewer_rfd_paths() {
+        // A denser deployment so dampers are visible from the tiny VP set
+        // (with few VPs a sparse deployment can legitimately yield zero
+        // RFD paths at any interval).
+        let mut fast_cfg = ExperimentConfig::small(1, 13);
+        fast_cfg.deployment.rfd_share = 0.5;
+        let mut slow_cfg = ExperimentConfig::small(15, 13);
+        slow_cfg.deployment.rfd_share = 0.5;
+        let fast = run_campaign(&fast_cfg);
+        let slow = run_campaign(&slow_cfg);
+        assert!(
+            fast.rfd_path_share() > slow.rfd_path_share(),
+            "fast {} vs slow {}",
+            fast.rfd_path_share(),
+            slow.rfd_path_share()
+        );
+        // At 15 minutes nothing should trigger (no profile damps there).
+        assert_eq!(slow.labels.iter().filter(|l| l.rfd).count(), 0);
+    }
+
+    #[test]
+    fn labels_cover_multiple_vantage_points() {
+        let out = run_campaign(&ExperimentConfig::small(1, 14));
+        let vps: BTreeSet<_> = out.labels.iter().map(|l| l.vantage).collect();
+        assert!(vps.len() >= 2, "only {} vantage points produced labels", vps.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_campaign(&ExperimentConfig::small(1, 15));
+        let b = run_campaign(&ExperimentConfig::small(1, 15));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+}

@@ -1,0 +1,110 @@
+//! Tiny text-rendering helpers for the per-figure binaries: aligned
+//! tables, horizontal bars, and ASCII CDF sketches — enough to read the
+//! reproduced figures in a terminal and diff them across runs.
+
+/// Render an aligned table: header + rows, columns padded to content.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A unicode bar of `value` relative to `max`, `width` chars wide.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    "█".repeat(filled.min(width))
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Sketch an ECDF as rows of (x, F(x)) at the given quantiles.
+pub fn cdf_rows(points: &[(f64, f64)], quantiles: &[f64]) -> Vec<(f64, f64)> {
+    let mut rows = Vec::new();
+    for &q in quantiles {
+        // First point reaching the quantile.
+        if let Some(&(x, f)) = points.iter().find(|&&(_, f)| f >= q) {
+            rows.push((x, f));
+        }
+    }
+    rows.dedup_by(|a, b| a.0 == b.0);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["as", "share"],
+            &[
+                vec!["AS1".into(), "10%".into()],
+                vec!["AS20932".into(), "5%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("as"));
+        assert!(lines[2].starts_with("AS1"));
+        // Both data rows have the share column at the same offset.
+        let off2 = lines[2].find("10%").unwrap();
+        let off3 = lines[3].find("5%").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(10.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        // Overflow clamps.
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.091), "9.1%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn cdf_rows_pick_quantiles() {
+        let pts = vec![(1.0, 0.25), (2.0, 0.5), (3.0, 0.75), (4.0, 1.0)];
+        let rows = cdf_rows(&pts, &[0.5, 0.9]);
+        assert_eq!(rows, vec![(2.0, 0.5), (4.0, 1.0)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Path cleaning: prepending removal and loop filtering.
+
+use bgpsim::{AsId, AsPath};
+use serde::{Deserialize, Serialize};
+
+/// A cleaned AS path: no prepending, verified loop-free.
+///
+/// Order is as observed at the collector: the vantage point's AS first,
+/// the beacon (origin) AS last.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct CleanPath(Vec<AsId>);
+
+impl CleanPath {
+    /// The ASs on the path, vantage first.
+    pub fn asns(&self) -> &[AsId] {
+        &self.0
+    }
+
+    /// Number of distinct hops.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty (never produced by [`clean_path`]).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The origin (beacon) AS.
+    pub fn origin(&self) -> Option<AsId> {
+        self.0.last().copied()
+    }
+
+    /// The vantage-point AS.
+    pub fn vantage(&self) -> Option<AsId> {
+        self.0.first().copied()
+    }
+
+    /// True if `asn` is on the path.
+    pub fn contains(&self, asn: AsId) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Adjacent AS pairs (links) along the path.
+    pub fn links(&self) -> impl Iterator<Item = (AsId, AsId)> + '_ {
+        self.0.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Construct from raw ASNs — intended for tests and synthetic
+    /// scenarios; production code should use [`clean_path`].
+    pub fn from_asns(asns: &[AsId]) -> Self {
+        CleanPath(asns.to_vec())
+    }
+}
+
+impl std::fmt::Display for CleanPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|a| a.0.to_string()).collect();
+        write!(f, "{}", parts.join("-"))
+    }
+}
+
+/// Clean a raw AS path: collapse prepending, reject loops and empties.
+///
+/// Returns `None` for paths the analysis must discard (the paper saw no
+/// loops in its dataset but the pipeline still guards against them).
+pub fn clean_path(path: &AsPath) -> Option<CleanPath> {
+    if path.is_empty() {
+        return None;
+    }
+    if path.has_loop() {
+        return None;
+    }
+    Some(CleanPath(path.deduplicated().asns().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(ids: &[u32]) -> AsPath {
+        ids.iter().map(|&i| AsId(i)).collect()
+    }
+
+    #[test]
+    fn collapses_prepending() {
+        let p = clean_path(&raw(&[30, 20, 20, 20, 10])).unwrap();
+        assert_eq!(p.asns(), &[AsId(30), AsId(20), AsId(10)]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn rejects_loops_and_empty() {
+        assert!(clean_path(&raw(&[1, 2, 1])).is_none());
+        assert!(clean_path(&AsPath::empty()).is_none());
+    }
+
+    #[test]
+    fn endpoints() {
+        let p = clean_path(&raw(&[30, 20, 10])).unwrap();
+        assert_eq!(p.vantage(), Some(AsId(30)));
+        assert_eq!(p.origin(), Some(AsId(10)));
+        assert!(p.contains(AsId(20)));
+        assert!(!p.contains(AsId(99)));
+    }
+
+    #[test]
+    fn links_are_adjacent_pairs() {
+        let p = clean_path(&raw(&[30, 20, 10])).unwrap();
+        let links: Vec<_> = p.links().collect();
+        assert_eq!(links, vec![(AsId(30), AsId(20)), (AsId(20), AsId(10))]);
+    }
+
+    #[test]
+    fn display_joins_with_dashes() {
+        let p = clean_path(&raw(&[3, 2, 1])).unwrap();
+        assert_eq!(p.to_string(), "3-2-1");
+    }
+
+    #[test]
+    fn single_as_path_is_valid() {
+        let p = clean_path(&raw(&[7])).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.vantage(), p.origin());
+        assert_eq!(p.links().count(), 0);
+    }
+}

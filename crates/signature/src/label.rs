@@ -1,0 +1,493 @@
+//! Burst–Break pairing, r-delta computation and the ≥ 90 % labeling rule.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use beacon::BeaconSchedule;
+use bgpsim::{AsId, Prefix};
+use collector::{Dump, UpdateRecord};
+use netsim::SimDuration;
+
+use crate::clean::{clean_path, CleanPath};
+
+/// Detection thresholds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LabelingConfig {
+    /// Minimum r-delta to count as the RFD signature (paper: 5 minutes —
+    /// clearly above propagation ≤ 1 min plus MRAI ≈ 30 s).
+    pub min_r_delta: SimDuration,
+    /// Slack after the burst end within which arrivals still count as
+    /// burst-phase updates (propagation + MRAI + export cadence).
+    pub propagation_bound: SimDuration,
+    /// Share of Burst–Break pairs that must match to label a path RFD
+    /// (paper: 90 %, tolerating session resets).
+    pub signature_share: f64,
+    /// Minimum number of pairs with data required to label at all.
+    pub min_pairs: usize,
+    /// The *suppression* half of the signature (Fig. 5: "first the
+    /// announcements are damped away"): a pair only matches when the
+    /// burst delivered at most this share of the scheduled updates.
+    /// Guards against convergence echoes — on a churning network a stray
+    /// copy of the final burst announcement can surface minutes into the
+    /// break even without damping, but only damping silences the burst.
+    pub max_burst_delivery_share: f64,
+}
+
+impl Default for LabelingConfig {
+    fn default() -> Self {
+        LabelingConfig {
+            min_r_delta: SimDuration::from_mins(5),
+            propagation_bound: SimDuration::from_mins(2),
+            signature_share: 0.9,
+            min_pairs: 1,
+            max_burst_delivery_share: 0.5,
+        }
+    }
+}
+
+/// What one Burst–Break pair showed for one (vantage, prefix).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Burst index.
+    pub burst: usize,
+    /// The path this pair is attributed to (the steady/re-advertised one).
+    pub path: CleanPath,
+    /// Observed r-delta (last burst update → re-advertisement, the §4.2
+    /// labeling quantity), when a break re-advertisement existed.
+    pub r_delta: Option<SimDuration>,
+    /// Break delta (end of Burst → re-advertisement), the §6.2 quantity
+    /// plotted in Fig. 13 — equals max-suppress-time when the penalty
+    /// saturated at its ceiling.
+    pub break_delta: Option<SimDuration>,
+    /// Whether the pair matches the RFD signature.
+    pub matches: bool,
+    /// Updates observed during the burst window (for the M3 heuristic and
+    /// Fig. 10 histograms).
+    pub burst_updates: usize,
+}
+
+/// Aggregated label for one (vantage, prefix, path).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPath {
+    /// The vantage point.
+    pub vantage: AsId,
+    /// The beacon prefix.
+    pub prefix: Prefix,
+    /// The cleaned path (vantage first, beacon origin last).
+    pub path: CleanPath,
+    /// Burst–Break pairs attributed to this path.
+    pub pairs_total: usize,
+    /// Pairs matching the RFD signature.
+    pub pairs_matching: usize,
+    /// All observed r-deltas (§4.2 definition: last burst update →
+    /// re-advertisement).
+    pub r_deltas: Vec<SimDuration>,
+    /// All observed break deltas (§6.2 / Fig. 13 definition: burst end →
+    /// re-advertisement).
+    pub break_deltas: Vec<SimDuration>,
+    /// The verdict: RFD path or not.
+    pub rfd: bool,
+}
+
+impl LabeledPath {
+    /// Matching share over pairs with data.
+    pub fn match_share(&self) -> f64 {
+        if self.pairs_total == 0 {
+            0.0
+        } else {
+            self.pairs_matching as f64 / self.pairs_total as f64
+        }
+    }
+
+    /// Mean r-delta in minutes (§4.2 quantity).
+    pub fn mean_r_delta_mins(&self) -> Option<f64> {
+        if self.r_deltas.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.r_deltas.iter().map(|d| d.as_mins_f64()).sum();
+        Some(sum / self.r_deltas.len() as f64)
+    }
+
+    /// Mean break delta in minutes — what Fig. 13 actually plots (it
+    /// rarely exceeds max-suppress-time ≈ 60 min).
+    pub fn mean_break_delta_mins(&self) -> Option<f64> {
+        if self.break_deltas.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.break_deltas.iter().map(|d| d.as_mins_f64()).sum();
+        Some(sum / self.break_deltas.len() as f64)
+    }
+}
+
+/// Label every (vantage, prefix, path) in `dump` against `schedule`.
+///
+/// Only records for the schedule's prefix are considered; run once per
+/// beacon prefix (each (site, prefix) is an independent experiment, §4.3).
+pub fn label_dump(
+    dump: &Dump,
+    schedule: &BeaconSchedule,
+    config: &LabelingConfig,
+) -> Vec<LabeledPath> {
+    let mut out = Vec::new();
+    for ((vantage, prefix), records) in dump.by_vantage_prefix() {
+        if prefix != schedule.prefix {
+            continue;
+        }
+        let outcomes = pair_outcomes(&records, schedule, config);
+        // Aggregate per path.
+        type Acc = (usize, usize, Vec<SimDuration>, Vec<SimDuration>);
+        let mut per_path: BTreeMap<CleanPath, Acc> = BTreeMap::new();
+        for o in outcomes {
+            let entry = per_path.entry(o.path.clone()).or_default();
+            entry.0 += 1;
+            if o.matches {
+                entry.1 += 1;
+            }
+            if let Some(rd) = o.r_delta {
+                entry.2.push(rd);
+            }
+            if let Some(bd) = o.break_delta {
+                entry.3.push(bd);
+            }
+        }
+        for (path, (total, matching, r_deltas, break_deltas)) in per_path {
+            if total < config.min_pairs {
+                continue;
+            }
+            let rfd = matching as f64 / total as f64 >= config.signature_share;
+            out.push(LabeledPath {
+                vantage,
+                prefix,
+                path,
+                pairs_total: total,
+                pairs_matching: matching,
+                r_deltas,
+                break_deltas,
+                rfd,
+            });
+        }
+    }
+    out
+}
+
+/// Analyse every Burst–Break pair for one (vantage, prefix) record stream.
+pub fn pair_outcomes(
+    records: &[&UpdateRecord],
+    schedule: &BeaconSchedule,
+    config: &LabelingConfig,
+) -> Vec<PairOutcome> {
+    let mut outcomes = Vec::new();
+    for i in 0..schedule.cycles {
+        let burst_start = schedule.burst_start(i);
+        let burst_end = schedule.burst_end(i);
+        let break_end = schedule.break_end(i);
+        let burst_cutoff = burst_end + config.propagation_bound;
+
+        // Records attributable to this pair's burst phase. Announcements
+        // must carry a valid stamp from within the burst (the validity
+        // filter); withdrawals carry no stamp and are accepted by time.
+        let in_burst: Vec<&&UpdateRecord> = records
+            .iter()
+            .filter(|r| {
+                if r.exported_at < burst_start || r.exported_at >= burst_cutoff {
+                    return false;
+                }
+                match (&r.path, r.beacon_time()) {
+                    (Some(_), Some(sent)) => sent >= burst_start && sent < burst_end,
+                    (Some(_), None) => false, // invalid stamp: discarded
+                    (None, _) => true,        // withdrawal
+                }
+            })
+            .collect();
+        if in_burst.is_empty() {
+            continue; // no data for this pair (session reset, unreachable…)
+        }
+        let last_burst_at = in_burst.last().expect("non-empty").exported_at;
+
+        // The re-advertisement: first valid announcement in the break
+        // window whose stamp replays a burst announcement.
+        let re_adv = records.iter().find(|r| {
+            r.exported_at >= burst_cutoff
+                && r.exported_at < break_end
+                && r.path.is_some()
+                && matches!(r.beacon_time(), Some(sent) if sent >= burst_start && sent < burst_end)
+        });
+
+        // Attribute the pair to a path: the re-advertised path when
+        // present, otherwise the last announced path of the burst.
+        let path_record = re_adv.copied().or_else(|| {
+            in_burst.iter().rev().find(|r| r.path.is_some()).copied().copied()
+        });
+        let Some(path_record) = path_record else {
+            continue; // only withdrawals seen: nothing to attribute
+        };
+        let Some(path) = path_record.path.as_ref().and_then(clean_path) else {
+            continue; // looped or empty path: discarded by cleaning
+        };
+
+        let r_delta = re_adv.map(|r| r.exported_at.saturating_since(last_burst_at));
+        let break_delta = re_adv.map(|r| r.exported_at.saturating_since(burst_end));
+        // Both halves of the signature: the burst was damped away (far
+        // fewer updates than scheduled) AND the re-advertisement was
+        // delayed beyond anything propagation/MRAI can produce.
+        let expected = schedule.updates_per_burst().max(1);
+        let suppressed =
+            (in_burst.len() as f64) <= config.max_burst_delivery_share * expected as f64;
+        let matches =
+            suppressed && r_delta.map(|d| d >= config.min_r_delta).unwrap_or(false);
+        outcomes.push(PairOutcome {
+            burst: i,
+            path,
+            r_delta,
+            break_delta,
+            matches,
+            burst_updates: in_burst.len(),
+        });
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+    use bgpsim::{AggregatorStamp, AsPath};
+    use collector::Project;
+
+    fn schedule() -> BeaconSchedule {
+        BeaconSchedule::standard(
+            "10.0.0.0/24".parse().unwrap(),
+            AsId(65000),
+            SimDuration::from_mins(1),
+            SimDuration::from_hours(2),
+            SimTime::ZERO,
+            3,
+        )
+    }
+
+    fn rec(
+        t: SimTime,
+        announced: bool,
+        stamp: Option<SimTime>,
+        path: &[u32],
+    ) -> UpdateRecord {
+        UpdateRecord {
+            project: Project::Isolario,
+            vantage: AsId(900),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            observed_at: t,
+            exported_at: t,
+            path: announced.then(|| path.iter().map(|&i| AsId(i)).collect::<AsPath>()),
+            aggregator: stamp.map(AggregatorStamp::new),
+        }
+    }
+
+    /// A faithful non-RFD stream: every beacon event arrives ~30 s later.
+    fn non_rfd_stream(s: &BeaconSchedule) -> Vec<UpdateRecord> {
+        let lag = SimDuration::from_secs(30);
+        let mut v = vec![rec(s.start + lag, true, Some(s.start), &[900, 100, 65000])];
+        for i in 0..s.cycles {
+            for (j, e) in s.burst_events(i).iter().enumerate() {
+                let announced = j % 2 == 1;
+                v.push(rec(e.at + lag, announced, announced.then_some(e.at), &[900, 100, 65000]));
+            }
+        }
+        v
+    }
+
+    /// An RFD stream: the first 10 burst updates arrive, then silence,
+    /// then a re-advertisement 40 minutes into the break.
+    fn rfd_stream(s: &BeaconSchedule) -> Vec<UpdateRecord> {
+        let lag = SimDuration::from_secs(30);
+        let mut v = vec![rec(s.start + lag, true, Some(s.start), &[900, 100, 65000])];
+        for i in 0..s.cycles {
+            let events = s.burst_events(i);
+            for (j, e) in events.iter().enumerate().take(10) {
+                let announced = j % 2 == 1;
+                v.push(rec(e.at + lag, announced, announced.then_some(e.at), &[900, 100, 65000]));
+            }
+            // Suppression: nothing more during the burst. Withdrawal of the
+            // damped route propagates once:
+            v.push(rec(events[10].at + lag, false, None, &[]));
+            // Re-advertisement 40 min into the break, replaying the final
+            // burst announcement's stamp.
+            let final_announce = s.final_burst_announce(i);
+            v.push(rec(
+                s.burst_end(i) + SimDuration::from_mins(40),
+                true,
+                Some(final_announce),
+                &[900, 100, 65000],
+            ));
+        }
+        v
+    }
+
+    fn label(records: Vec<UpdateRecord>, s: &BeaconSchedule) -> Vec<LabeledPath> {
+        let dump = Dump::new(records);
+        label_dump(&dump, s, &LabelingConfig::default())
+    }
+
+    #[test]
+    fn non_rfd_path_labeled_clean() {
+        let s = schedule();
+        let labels = label(non_rfd_stream(&s), &s);
+        assert_eq!(labels.len(), 1);
+        let l = &labels[0];
+        assert!(!l.rfd);
+        assert_eq!(l.pairs_total, 3);
+        assert_eq!(l.pairs_matching, 0);
+        assert!(l.r_deltas.is_empty());
+    }
+
+    #[test]
+    fn rfd_path_labeled_damped_with_rdelta() {
+        let s = schedule();
+        let labels = label(rfd_stream(&s), &s);
+        assert_eq!(labels.len(), 1);
+        let l = &labels[0];
+        assert!(l.rfd);
+        assert_eq!(l.pairs_total, 3);
+        assert_eq!(l.pairs_matching, 3);
+        assert_eq!(l.r_deltas.len(), 3);
+        // r-delta ≈ (burst_end + 40 min) − (11th update arrival)
+        let mean = l.mean_r_delta_mins().unwrap();
+        assert!(mean > 30.0, "mean r-delta {mean} should be large");
+        assert!((l.match_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ninety_percent_rule_tolerates_one_bad_pair() {
+        // 10 bursts, 9 matching: still RFD. 8 of 10: not RFD.
+        let mut s = schedule();
+        s.cycles = 10;
+        let mut records = rfd_stream(&s);
+        // Remove the re-advertisement of the last burst (simulate a reset
+        // by replacing it with nothing): drop the final record.
+        let re_adv_at = |i: usize| s.burst_end(i) + SimDuration::from_mins(40);
+        let last_re_adv = records
+            .iter()
+            .position(|r| r.path.is_some() && r.exported_at == re_adv_at(9))
+            .unwrap();
+        records.remove(last_re_adv);
+        let labels = label(records.clone(), &s);
+        assert!(labels[0].rfd, "9/10 still ≥ 90 %");
+
+        // Remove another burst's re-advertisement → 8/10 < 90 %.
+        let re_adv_8 = records
+            .iter()
+            .position(|r| r.path.is_some() && r.exported_at == re_adv_at(8))
+            .unwrap();
+        records.remove(re_adv_8);
+        let labels = label(records, &s);
+        assert!(!labels[0].rfd, "8/10 < 90 %");
+    }
+
+    #[test]
+    fn mrai_delayed_finale_is_not_a_signature() {
+        // The final burst announcement arrives 90 s late (MRAI + slow
+        // propagation) — within the propagation bound, so no false RFD.
+        let s = schedule();
+        let mut records = non_rfd_stream(&s);
+        // Delay each burst's final announcement by 90 s extra.
+        for i in 0..s.cycles {
+            let fin = s.final_burst_announce(i);
+            for r in records.iter_mut() {
+                if r.beacon_time() == Some(fin) {
+                    r.exported_at = r.exported_at + SimDuration::from_secs(90);
+                    r.observed_at = r.exported_at;
+                }
+            }
+        }
+        records.sort_by_key(|r| r.exported_at);
+        let labels = label(records, &s);
+        assert_eq!(labels.len(), 1);
+        assert!(!labels[0].rfd, "MRAI delay must not look like damping");
+    }
+
+    #[test]
+    fn full_burst_with_late_echo_is_not_a_signature() {
+        // Every scheduled update arrived (no damping), but a stray copy
+        // of the final announcement surfaces 6 minutes into the break —
+        // BGP convergence echo, not RFD. The suppression half of the
+        // signature must veto the match.
+        let s = schedule();
+        let mut records = non_rfd_stream(&s);
+        for i in 0..s.cycles {
+            let fin = s.final_burst_announce(i);
+            records.push(rec(
+                s.burst_end(i) + SimDuration::from_mins(6),
+                true,
+                Some(fin),
+                &[900, 100, 65000],
+            ));
+        }
+        records.sort_by_key(|r| r.exported_at);
+        let labels = label(records, &s);
+        assert_eq!(labels.len(), 1);
+        assert!(!labels[0].rfd, "convergence echo must not read as damping");
+    }
+
+    #[test]
+    fn corrupted_stamps_are_discarded() {
+        let s = schedule();
+        let mut records = rfd_stream(&s);
+        // Corrupt every aggregator: all announcements get discarded, so
+        // only withdrawals remain per burst → pairs have no announce to
+        // attribute, or no re-advertisement to find.
+        for r in records.iter_mut() {
+            if let Some(stamp) = r.aggregator {
+                r.aggregator = Some(stamp.corrupted());
+            }
+        }
+        let labels = label(records, &s);
+        assert!(labels.is_empty(), "no valid announcements → nothing labeled");
+    }
+
+    #[test]
+    fn prepended_paths_collapse_to_one_label() {
+        let s = schedule();
+        let mut records = non_rfd_stream(&s);
+        // Half the announcements carry a prepended variant of the path.
+        for (i, r) in records.iter_mut().enumerate() {
+            if i % 2 == 0 && r.path.is_some() {
+                r.path = Some(
+                    [900, 100, 100, 100, 65000]
+                        .iter()
+                        .map(|&x| AsId(x))
+                        .collect::<AsPath>(),
+                );
+            }
+        }
+        let labels = label(records, &s);
+        assert_eq!(labels.len(), 1, "prepending must not split the path");
+        assert_eq!(
+            labels[0].path.asns(),
+            &[AsId(900), AsId(100), AsId(65000)]
+        );
+    }
+
+    #[test]
+    fn pairs_without_data_are_skipped() {
+        let s = schedule();
+        // Data only for burst 0; bursts 1 and 2 silent.
+        let records: Vec<UpdateRecord> = non_rfd_stream(&s)
+            .into_iter()
+            .filter(|r| r.exported_at < s.burst_end(0) + SimDuration::from_mins(2))
+            .collect();
+        let labels = label(records, &s);
+        assert_eq!(labels.len(), 1);
+        assert_eq!(labels[0].pairs_total, 1);
+    }
+
+    #[test]
+    fn other_prefixes_are_ignored() {
+        let s = schedule();
+        let mut records = non_rfd_stream(&s);
+        for r in records.iter_mut() {
+            r.prefix = "10.0.99.0/24".parse().unwrap();
+        }
+        let labels = label(records, &s);
+        assert!(labels.is_empty());
+    }
+}

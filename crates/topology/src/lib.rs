@@ -1,0 +1,29 @@
+//! # topology — synthetic AS-level Internet topologies
+//!
+//! The paper measures the real Internet: ~70 k ASs, 7 beacon sites placed
+//! at most two AS hops from a Tier-1 provider, and ~400 full-feed
+//! vantage points spread over three route-collector projects. This crate
+//! generates *synthetic* topologies with the same structural features the
+//! inference problem cares about:
+//!
+//! * a **Tier-1 clique** (settlement-free full mesh) at the top;
+//! * a **transit layer** attached by customer–provider edges with
+//!   preferential attachment (heavy-tailed degree, realistic customer
+//!   cones) plus lateral peering;
+//! * a **stub fringe**, mostly single- or dual-homed;
+//! * **beacon-site ASs** injected near the top of the hierarchy (≤ 2 hops
+//!   from a Tier-1, like the paper's beacons);
+//! * **vantage points** sampled across tiers (route-collector full-feed
+//!   peers).
+//!
+//! Everything is deterministic in the experiment seed. The
+//! [`graph::Topology`] can be [instantiated](graph::Topology::instantiate)
+//! into a running [`bgpsim::Network`], with a caller-supplied hook that
+//! decides each session's policy — that hook is where experiments deploy
+//! RFD (consistently or per-neighbor) and MRAI.
+
+pub mod gen;
+pub mod graph;
+
+pub use gen::{generate, TopologyConfig};
+pub use graph::{AsInfo, LinkSpec, Tier, Topology};

@@ -1,0 +1,18 @@
+//! Umbrella crate for the BeCAUSe reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation:
+//! [`because`] (the inference framework), [`bgpsim`] (BGP + RFD substrate),
+//! [`topology`], [`beacon`], [`collector`], [`signature`], [`heuristics`],
+//! [`rov`], and [`experiments`].
+
+pub use because;
+pub use beacon;
+pub use bgpsim;
+pub use collector;
+pub use experiments;
+pub use heuristics;
+pub use netsim;
+pub use rov;
+pub use signature;
+pub use topology;
