@@ -76,17 +76,27 @@ impl Campaign {
                         )
                     })
                     .collect();
-                SiteCampaign { site, anchor, beacons }
+                SiteCampaign {
+                    site,
+                    anchor,
+                    beacons,
+                }
             })
             .collect();
-        Campaign { sites: site_campaigns }
+        Campaign {
+            sites: site_campaigns,
+        }
     }
 
     /// The March 2020 campaign: 1/2/3-minute intervals, 6 h breaks.
     pub fn march(sites: &[AsId], start: SimTime, cycles: usize) -> Self {
         Campaign::new(
             sites,
-            &[SimDuration::from_mins(1), SimDuration::from_mins(2), SimDuration::from_mins(3)],
+            &[
+                SimDuration::from_mins(1),
+                SimDuration::from_mins(2),
+                SimDuration::from_mins(3),
+            ],
             SimDuration::from_hours(6),
             start,
             cycles,
@@ -97,7 +107,11 @@ impl Campaign {
     pub fn april(sites: &[AsId], start: SimTime, cycles: usize) -> Self {
         Campaign::new(
             sites,
-            &[SimDuration::from_mins(5), SimDuration::from_mins(10), SimDuration::from_mins(15)],
+            &[
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(10),
+                SimDuration::from_mins(15),
+            ],
             SimDuration::from_hours(2),
             start,
             cycles,
@@ -138,7 +152,10 @@ impl Campaign {
 
     /// When the latest schedule ends.
     pub fn end(&self) -> SimTime {
-        self.beacon_schedules().map(|b| b.end()).max().unwrap_or(SimTime::ZERO)
+        self.beacon_schedules()
+            .map(|b| b.end())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Schedule every event of every site into `net`.

@@ -145,10 +145,14 @@ impl BeaconSchedule {
         while t < end {
             events.push(BeaconEvent {
                 at: t,
-                kind: if withdraw { BeaconEventKind::Withdraw } else { BeaconEventKind::Announce },
+                kind: if withdraw {
+                    BeaconEventKind::Withdraw
+                } else {
+                    BeaconEventKind::Announce
+                },
             });
             withdraw = !withdraw;
-            t = t + self.update_interval;
+            t += self.update_interval;
         }
         // The pattern must end with an announcement so a damped path's
         // release during the break is observable.
@@ -162,7 +166,10 @@ impl BeaconSchedule {
 
     /// The complete event list: priming announcement plus every burst.
     pub fn events(&self) -> Vec<BeaconEvent> {
-        let mut events = vec![BeaconEvent { at: self.start, kind: BeaconEventKind::Announce }];
+        let mut events = vec![BeaconEvent {
+            at: self.start,
+            kind: BeaconEventKind::Announce,
+        }];
         for i in 0..self.cycles {
             events.extend(self.burst_events(i));
         }
@@ -173,7 +180,9 @@ impl BeaconSchedule {
     pub fn apply(&self, net: &mut Network) {
         for e in self.events() {
             match e.kind {
-                BeaconEventKind::Announce => net.schedule_announce(e.at, self.site, self.prefix, true),
+                BeaconEventKind::Announce => {
+                    net.schedule_announce(e.at, self.site, self.prefix, true)
+                }
                 BeaconEventKind::Withdraw => net.schedule_withdraw(e.at, self.site, self.prefix),
             }
         }
@@ -204,7 +213,13 @@ pub struct AnchorSchedule {
 impl AnchorSchedule {
     /// The RIPE schedule: 2-hour half-period.
     pub fn ripe(prefix: Prefix, site: AsId, start: SimTime, cycles: usize) -> Self {
-        AnchorSchedule { prefix, site, start, half_period: SimDuration::from_hours(2), cycles }
+        AnchorSchedule {
+            prefix,
+            site,
+            start,
+            half_period: SimDuration::from_hours(2),
+            cycles,
+        }
     }
 
     /// The full event list (starting with an announcement).
@@ -212,7 +227,10 @@ impl AnchorSchedule {
         let mut events = Vec::with_capacity(self.cycles * 2);
         for i in 0..self.cycles {
             let t = self.start + self.half_period.saturating_mul(2 * i as u64);
-            events.push(BeaconEvent { at: t, kind: BeaconEventKind::Announce });
+            events.push(BeaconEvent {
+                at: t,
+                kind: BeaconEventKind::Announce,
+            });
             events.push(BeaconEvent {
                 at: t + self.half_period,
                 kind: BeaconEventKind::Withdraw,
@@ -234,7 +252,9 @@ impl AnchorSchedule {
     pub fn apply(&self, net: &mut Network) {
         for e in self.events() {
             match e.kind {
-                BeaconEventKind::Announce => net.schedule_announce(e.at, self.site, self.prefix, true),
+                BeaconEventKind::Announce => {
+                    net.schedule_announce(e.at, self.site, self.prefix, true)
+                }
                 BeaconEventKind::Withdraw => net.schedule_withdraw(e.at, self.site, self.prefix),
             }
         }
@@ -326,7 +346,12 @@ mod tests {
 
     #[test]
     fn anchor_alternates_on_two_hour_schedule() {
-        let a = AnchorSchedule::ripe("10.0.1.0/24".parse().unwrap(), AsId(65001), SimTime::ZERO, 3);
+        let a = AnchorSchedule::ripe(
+            "10.0.1.0/24".parse().unwrap(),
+            AsId(65001),
+            SimTime::ZERO,
+            3,
+        );
         let ev = a.events();
         assert_eq!(ev.len(), 6);
         assert_eq!(ev[0].kind, BeaconEventKind::Announce);
@@ -339,7 +364,11 @@ mod tests {
     #[test]
     fn schedule_applies_to_network() {
         use bgpsim::{NetworkConfig, Relationship, SessionPolicy};
-        let mut net = Network::new(NetworkConfig { jitter: 0.0, seed: 0, ..Default::default() });
+        let mut net = Network::new(NetworkConfig {
+            jitter: 0.0,
+            seed: 0,
+            ..Default::default()
+        });
         net.connect(
             AsId(65000),
             AsId(1),

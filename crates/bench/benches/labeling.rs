@@ -20,8 +20,10 @@ fn campaign() -> experiments::pipeline::CampaignOutput {
 
 fn bench_clean_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("path_cleaning");
-    let path: AsPath =
-        [9u32, 9, 9, 8, 7, 7, 6, 5, 4, 4, 4, 3, 2, 1].iter().map(|&i| AsId(i)).collect();
+    let path: AsPath = [9u32, 9, 9, 8, 7, 7, 6, 5, 4, 4, 4, 3, 2, 1]
+        .iter()
+        .map(|&i| AsId(i))
+        .collect();
     group.bench_function("clean_prepended_14hop", |b| {
         b.iter(|| black_box(clean_path(black_box(&path))))
     });
@@ -57,9 +59,7 @@ fn bench_heuristics(c: &mut Criterion) {
         b.iter(|| black_box(heuristics::alternative_paths(&out.labels).len()))
     });
     group.bench_function("m3_burst_distribution", |b| {
-        b.iter(|| {
-            black_box(heuristics::burst_distribution(&out.dump, schedules[0], 40).len())
-        })
+        b.iter(|| black_box(heuristics::burst_distribution(&out.dump, schedules[0], 40).len()))
     });
     group.bench_function("all_combined", |b| {
         b.iter(|| {
@@ -88,7 +88,9 @@ fn bench_schedule_generation(c: &mut Criterion) {
         SimTime::ZERO,
         8,
     );
-    group.bench_function("events_8_cycles_1min", |b| b.iter(|| black_box(s.events().len())));
+    group.bench_function("events_8_cycles_1min", |b| {
+        b.iter(|| black_box(s.events().len()))
+    });
     group.finish();
 }
 

@@ -7,14 +7,14 @@
 //!   the full likelihood, which is the difference that makes MH viable
 //!   on paper-scale datasets.
 
-use bench::{mid_p, synthetic_paths};
 use because::likelihood::{IncrementalLikelihood, LogLikelihood};
+use bench::{mid_p, synthetic_paths};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("likelihood_eval");
-    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000), (500, 4000)] {
+    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000), (500, 4000), (800, 6000)] {
         let data = synthetic_paths(nodes, paths, 0.2, 1);
         let ll = LogLikelihood::new(&data);
         let p = mid_p(&data);
@@ -29,7 +29,7 @@ fn bench_eval(c: &mut Criterion) {
 
 fn bench_grad(c: &mut Criterion) {
     let mut group = c.benchmark_group("likelihood_grad");
-    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000), (500, 4000)] {
+    for &(nodes, paths) in &[(50u32, 200usize), (200, 1000), (500, 4000), (800, 6000)] {
         let data = synthetic_paths(nodes, paths, 0.2, 2);
         let ll = LogLikelihood::new(&data);
         let p = mid_p(&data);
@@ -45,6 +45,40 @@ fn bench_grad(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// Serial vs. threaded full evaluation on the ≥5k-path dataset — the
+/// ablation behind the `BENCH_*.json` speedup numbers. The threshold
+/// override pins each side: `usize::MAX` forces serial, `0` forces the
+/// scoped-thread path (which still collapses to one chunk on a 1-core
+/// host, bounding the parallel overhead).
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("likelihood_parallel");
+    let data = synthetic_paths(800, 6000, 0.2, 4);
+    let p = mid_p(&data);
+    let serial = LogLikelihood::new(&data).with_parallel_threshold(usize::MAX);
+    let parallel = LogLikelihood::new(&data).with_parallel_threshold(0);
+    let mut g = vec![0.0; data.num_nodes()];
+
+    group.bench_function("eval_serial", |b| {
+        b.iter(|| black_box(serial.eval(black_box(&p))))
+    });
+    group.bench_function("eval_parallel", |b| {
+        b.iter(|| black_box(parallel.eval(black_box(&p))))
+    });
+    group.bench_function("grad_serial", |b| {
+        b.iter(|| {
+            serial.grad(black_box(&p), &mut g);
+            black_box(&g);
+        })
+    });
+    group.bench_function("grad_parallel", |b| {
+        b.iter(|| {
+            parallel.grad(black_box(&p), &mut g);
+            black_box(&g);
+        })
+    });
     group.finish();
 }
 
@@ -79,6 +113,6 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_eval, bench_grad, bench_incremental_vs_full
+    targets = bench_eval, bench_grad, bench_parallel_vs_serial, bench_incremental_vs_full
 );
 criterion_main!(benches);

@@ -26,7 +26,11 @@ fn small_experiment(interval: u64) -> ExperimentConfig {
 
 fn analysis_cfg() -> AnalysisConfig {
     AnalysisConfig {
-        chain: because::chain::ChainConfig { warmup: 150, samples: 300, thin: 1 },
+        chain: because::chain::ChainConfig {
+            warmup: 150,
+            samples: 300,
+            thin: 1,
+        },
         n_chains: 1,
         seed: 7,
         ..Default::default()
@@ -65,11 +69,8 @@ fn bench_table4(c: &mut Criterion) {
             let out = run_campaign(&small_experiment(1));
             let inf =
                 infer_becauase_and_heuristics(&out, &analysis_cfg(), &HeuristicConfig::default());
-            let eval = evaluate_against_oracle(
-                &out,
-                &inf.because_flagged(),
-                SimDuration::from_mins(1),
-            );
+            let eval =
+                evaluate_against_oracle(&out, &inf.because_flagged(), SimDuration::from_mins(1));
             black_box((eval.pr.precision(), eval.pr.recall()))
         })
     });

@@ -1,11 +1,11 @@
 //! MCMC kernels: MH sweeps vs HMC trajectories (the §3.2 comparison),
 //! plus the prior-sensitivity and step-count ablations from DESIGN.md.
 
-use bench::synthetic_paths;
 use because::chain::Sampler;
 use because::hmc::Hmc;
 use because::mh::MetropolisHastings;
 use because::Prior;
+use bench::synthetic_paths;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::SimRng;
 use std::hint::black_box;
@@ -56,8 +56,8 @@ fn bench_hmc_leapfrog_ablation(c: &mut Criterion) {
     for &steps in &[5usize, 20, 50] {
         group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
             let mut rng = SimRng::new(3);
-            let mut s = Hmc::from_prior(&data, Prior::default(), &mut rng)
-                .with_leapfrog_steps(steps);
+            let mut s =
+                Hmc::from_prior(&data, Prior::default(), &mut rng).with_leapfrog_steps(steps);
             b.iter(|| {
                 s.step(&mut rng);
                 black_box(s.state()[0])
@@ -72,8 +72,20 @@ fn bench_prior_ablation(c: &mut Criterion) {
     let data = synthetic_paths(100, 500, 0.2, 13);
     let priors = [
         ("uniform", Prior::Uniform),
-        ("beta_1_4", Prior::Beta { alpha: 1.0, beta: 4.0 }),
-        ("beta_2_2", Prior::Beta { alpha: 2.0, beta: 2.0 }),
+        (
+            "beta_1_4",
+            Prior::Beta {
+                alpha: 1.0,
+                beta: 4.0,
+            },
+        ),
+        (
+            "beta_2_2",
+            Prior::Beta {
+                alpha: 2.0,
+                beta: 2.0,
+            },
+        ),
     ];
     for (name, prior) in priors {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {

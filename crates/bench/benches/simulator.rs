@@ -15,7 +15,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q: EventQueue<u64> = EventQueue::new();
             for i in 0..10_000u64 {
                 // Pseudo-random but deterministic times.
-                q.schedule_at(SimTime::from_millis(i.wrapping_mul(2654435761) % 1_000_000), i);
+                q.schedule_at(
+                    SimTime::from_millis(i.wrapping_mul(2654435761) % 1_000_000),
+                    i,
+                );
             }
             let mut acc = 0u64;
             while let Some((_, e)) = q.pop() {
@@ -44,7 +47,11 @@ fn bench_convergence(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut net = topo.instantiate(
-                        NetworkConfig { jitter: 0.3, seed: 5, ..Default::default() },
+                        NetworkConfig {
+                            jitter: 0.3,
+                            seed: 5,
+                            ..Default::default()
+                        },
                         |_, _, pol| pol,
                     );
                     net.schedule_announce(SimTime::ZERO, topo.beacon_sites[0], pfx, true);
@@ -60,14 +67,22 @@ fn bench_convergence(c: &mut Criterion) {
 fn bench_burst(c: &mut Criterion) {
     let mut group = c.benchmark_group("beacon_burst");
     group.sample_size(10);
-    let config = TopologyConfig { n_transit: 40, n_stub: 100, ..TopologyConfig::default_with_seed(6) };
+    let config = TopologyConfig {
+        n_transit: 40,
+        n_stub: 100,
+        ..TopologyConfig::default_with_seed(6)
+    };
     let topo = generate(&config);
     let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
     let site = topo.beacon_sites[0];
     group.bench_function("one_2h_burst_1min", |b| {
         b.iter(|| {
             let mut net = topo.instantiate(
-                NetworkConfig { jitter: 0.3, seed: 6, ..Default::default() },
+                NetworkConfig {
+                    jitter: 0.3,
+                    seed: 6,
+                    ..Default::default()
+                },
                 |_, _, pol| pol,
             );
             let schedule = beacon::BeaconSchedule::standard(
@@ -96,10 +111,13 @@ fn bench_rfd_state(c: &mut Criterion) {
             let mut s = RfdState::new();
             let mut t = SimTime::ZERO;
             for i in 0..1000 {
-                let kind =
-                    if i % 2 == 0 { FlapKind::Withdrawal } else { FlapKind::Readvertisement };
+                let kind = if i % 2 == 0 {
+                    FlapKind::Withdrawal
+                } else {
+                    FlapKind::Readvertisement
+                };
                 black_box(s.record(kind, t, &params));
-                t = t + netsim::SimDuration::from_secs(30);
+                t += netsim::SimDuration::from_secs(30);
             }
             black_box(s.penalty_at(t, &params))
         })

@@ -17,8 +17,9 @@ pub fn synthetic_paths(n_nodes: u32, n_paths: usize, show_share: f64, seed: u64)
     let mut observations = Vec::with_capacity(n_paths);
     for _ in 0..n_paths {
         let len = 2 + rng.index(5);
-        let nodes: Vec<NodeId> =
-            (0..len).map(|_| NodeId(1 + rng.below(u64::from(n_nodes)) as u32)).collect();
+        let nodes: Vec<NodeId> = (0..len)
+            .map(|_| NodeId(1 + rng.below(u64::from(n_nodes)) as u32))
+            .collect();
         observations.push(PathObservation::new(nodes, rng.chance(show_share)));
     }
     PathData::from_observations(&observations, &[])

@@ -41,7 +41,9 @@ impl Candidate<'_> {
 }
 
 /// Select the best route among candidates; `None` when empty.
-pub fn select_best<'a>(candidates: impl IntoIterator<Item = Candidate<'a>>) -> Option<Candidate<'a>> {
+pub fn select_best<'a>(
+    candidates: impl IntoIterator<Item = Candidate<'a>>,
+) -> Option<Candidate<'a>> {
     candidates.into_iter().max_by(|a, b| a.key().cmp(&b.key()))
 }
 
@@ -52,11 +54,18 @@ mod tests {
 
     fn route_with_len(len: usize) -> Route {
         let path: AsPath = (0..len as u32).map(|i| AsId(1000 + i)).collect();
-        Route { path, aggregator: None }
+        Route {
+            path,
+            aggregator: None,
+        }
     }
 
     fn cand(neighbor: u32, rel: Relationship, route: &Route) -> Candidate<'_> {
-        Candidate { neighbor: AsId(neighbor), relationship: rel, route }
+        Candidate {
+            neighbor: AsId(neighbor),
+            relationship: rel,
+            route,
+        }
     }
 
     #[test]

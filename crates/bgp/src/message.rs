@@ -75,7 +75,7 @@ impl AsPath {
     /// A new path with `asn` prepended `count` times (sender-side export).
     pub fn prepend(&self, asn: AsId, count: usize) -> AsPath {
         let mut v = Vec::with_capacity(self.0.len() + count);
-        v.extend(std::iter::repeat(asn).take(count));
+        v.extend(std::iter::repeat_n(asn, count));
         v.extend_from_slice(&self.0);
         AsPath(v)
     }
@@ -135,12 +135,18 @@ pub struct AggregatorStamp {
 impl AggregatorStamp {
     /// A well-formed stamp for a beacon event at `sent_at`.
     pub fn new(sent_at: SimTime) -> Self {
-        AggregatorStamp { sent_at, valid: true }
+        AggregatorStamp {
+            sent_at,
+            valid: true,
+        }
     }
 
     /// The stamp with its aggregator IP corrupted (timestamp unusable).
     pub fn corrupted(self) -> Self {
-        AggregatorStamp { valid: false, ..self }
+        AggregatorStamp {
+            valid: false,
+            ..self
+        }
     }
 }
 
@@ -177,12 +183,18 @@ pub struct BgpUpdate {
 impl BgpUpdate {
     /// Announcement constructor.
     pub fn announce(prefix: Prefix, path: AsPath, aggregator: Option<AggregatorStamp>) -> Self {
-        BgpUpdate { prefix, action: BgpAction::Announce { path, aggregator } }
+        BgpUpdate {
+            prefix,
+            action: BgpAction::Announce { path, aggregator },
+        }
     }
 
     /// Withdrawal constructor.
     pub fn withdraw(prefix: Prefix) -> Self {
-        BgpUpdate { prefix, action: BgpAction::Withdraw }
+        BgpUpdate {
+            prefix,
+            action: BgpAction::Withdraw,
+        }
     }
 }
 

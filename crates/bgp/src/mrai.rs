@@ -55,7 +55,10 @@ pub struct MraiGate {
 impl MraiGate {
     /// A gate with the given interval; `None` disables MRAI entirely.
     pub fn new(interval: Option<SimDuration>) -> Self {
-        MraiGate { interval, slots: BTreeMap::new() }
+        MraiGate {
+            interval,
+            slots: BTreeMap::new(),
+        }
     }
 
     /// Submit an outbound update; returns what to do with it.
@@ -108,8 +111,8 @@ impl MraiGate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::AsPath;
     use crate::message::AsId;
+    use crate::message::AsPath;
 
     fn pfx() -> Prefix {
         "10.0.0.0/24".parse().unwrap()
@@ -131,7 +134,10 @@ mod tests {
     #[test]
     fn first_announcement_sends_then_defers() {
         let mut g = MraiGate::new(Some(SimDuration::from_secs(30)));
-        assert!(matches!(g.submit(ann(1), SimTime::ZERO), MraiVerdict::SendNow(_)));
+        assert!(matches!(
+            g.submit(ann(1), SimTime::ZERO),
+            MraiVerdict::SendNow(_)
+        ));
         match g.submit(ann(2), SimTime::from_secs(10)) {
             MraiVerdict::Deferred { at, arm } => {
                 assert_eq!(at, SimTime::from_secs(30));
@@ -153,7 +159,10 @@ mod tests {
     fn gate_reopens_after_interval() {
         let mut g = MraiGate::new(Some(SimDuration::from_secs(30)));
         g.submit(ann(1), SimTime::ZERO);
-        assert!(matches!(g.submit(ann(2), SimTime::from_secs(30)), MraiVerdict::SendNow(_)));
+        assert!(matches!(
+            g.submit(ann(2), SimTime::from_secs(30)),
+            MraiVerdict::SendNow(_)
+        ));
     }
 
     #[test]
@@ -185,8 +194,14 @@ mod tests {
         let mut g = MraiGate::new(Some(SimDuration::from_secs(30)));
         let other: Prefix = "10.0.1.0/24".parse().unwrap();
         g.submit(ann(1), SimTime::ZERO);
-        let v = g.submit(BgpUpdate::announce(other, AsPath::empty(), None), SimTime::from_secs(1));
-        assert!(matches!(v, MraiVerdict::SendNow(_)), "different prefix must not be gated");
+        let v = g.submit(
+            BgpUpdate::announce(other, AsPath::empty(), None),
+            SimTime::from_secs(1),
+        );
+        assert!(
+            matches!(v, MraiVerdict::SendNow(_)),
+            "different prefix must not be gated"
+        );
     }
 
     #[test]

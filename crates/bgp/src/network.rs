@@ -190,8 +190,14 @@ impl Network {
         let d = delay.unwrap_or(self.config.default_link_delay);
         self.delays.insert((a, b), d);
         self.delays.insert((b, a), d);
-        self.routers.get_mut(&a).expect("added").add_session(b, policy_at_a);
-        self.routers.get_mut(&b).expect("added").add_session(a, policy_at_b);
+        self.routers
+            .get_mut(&a)
+            .expect("added")
+            .add_session(b, policy_at_a);
+        self.routers
+            .get_mut(&b)
+            .expect("added")
+            .add_session(a, policy_at_b);
     }
 
     /// Mark `asn` as a vantage point whose Loc-RIB changes are recorded.
@@ -234,12 +240,20 @@ impl Network {
     /// With `stamp`, the announcement carries an aggregator timestamp equal
     /// to the fire time — the beacon convention.
     pub fn schedule_announce(&mut self, at: SimTime, router: AsId, prefix: Prefix, stamp: bool) {
-        self.queue.schedule_at(at, NetEvent::Originate { router, prefix, stamp });
+        self.queue.schedule_at(
+            at,
+            NetEvent::Originate {
+                router,
+                prefix,
+                stamp,
+            },
+        );
     }
 
     /// Schedule a withdrawal of a locally-originated `prefix`.
     pub fn schedule_withdraw(&mut self, at: SimTime, router: AsId, prefix: Prefix) {
-        self.queue.schedule_at(at, NetEvent::WithdrawOrigin { router, prefix });
+        self.queue
+            .schedule_at(at, NetEvent::WithdrawOrigin { router, prefix });
     }
 
     /// Run until the queue is empty or the clock passes `until`.
@@ -272,24 +286,46 @@ impl Network {
         let (router_id, output) = match ev {
             NetEvent::Deliver { from, to, update } => {
                 self.delivered += 1;
-                let Some(r) = self.routers.get_mut(&to) else { return };
+                let Some(r) = self.routers.get_mut(&to) else {
+                    return;
+                };
                 (to, r.handle_update(from, update, now))
             }
-            NetEvent::MraiExpire { router, peer, prefix } => {
-                let Some(r) = self.routers.get_mut(&router) else { return };
+            NetEvent::MraiExpire {
+                router,
+                peer,
+                prefix,
+            } => {
+                let Some(r) = self.routers.get_mut(&router) else {
+                    return;
+                };
                 (router, r.mrai_expired(peer, prefix, now))
             }
-            NetEvent::RfdReuse { router, peer, prefix } => {
-                let Some(r) = self.routers.get_mut(&router) else { return };
+            NetEvent::RfdReuse {
+                router,
+                peer,
+                prefix,
+            } => {
+                let Some(r) = self.routers.get_mut(&router) else {
+                    return;
+                };
                 (router, r.rfd_reuse_fired(peer, prefix, now))
             }
-            NetEvent::Originate { router, prefix, stamp } => {
-                let Some(r) = self.routers.get_mut(&router) else { return };
+            NetEvent::Originate {
+                router,
+                prefix,
+                stamp,
+            } => {
+                let Some(r) = self.routers.get_mut(&router) else {
+                    return;
+                };
                 let aggregator = stamp.then(|| AggregatorStamp::new(now));
                 (router, r.originate(prefix, aggregator, now))
             }
             NetEvent::WithdrawOrigin { router, prefix } => {
-                let Some(r) = self.routers.get_mut(&router) else { return };
+                let Some(r) = self.routers.get_mut(&router) else {
+                    return;
+                };
                 (router, r.withdraw_origin(prefix, now))
             }
         };
@@ -297,25 +333,34 @@ impl Network {
         // Translate the router's requests into events.
         for (peer, update) in output.sends {
             let delivery = self.delivery_time(router_id, peer, now);
-            self.queue.schedule_at(delivery, NetEvent::Deliver {
-                from: router_id,
-                to: peer,
-                update,
-            });
+            self.queue.schedule_at(
+                delivery,
+                NetEvent::Deliver {
+                    from: router_id,
+                    to: peer,
+                    update,
+                },
+            );
         }
         for (peer, prefix, at) in output.mrai_timers {
-            self.queue.schedule_at(at.max(now), NetEvent::MraiExpire {
-                router: router_id,
-                peer,
-                prefix,
-            });
+            self.queue.schedule_at(
+                at.max(now),
+                NetEvent::MraiExpire {
+                    router: router_id,
+                    peer,
+                    prefix,
+                },
+            );
         }
         for (peer, prefix, at) in output.rfd_timers {
-            self.queue.schedule_at(at.max(now), NetEvent::RfdReuse {
-                router: router_id,
-                peer,
-                prefix,
-            });
+            self.queue.schedule_at(
+                at.max(now),
+                NetEvent::RfdReuse {
+                    router: router_id,
+                    peer,
+                    prefix,
+                },
+            );
         }
         if let Some(change) = output.loc_rib_change {
             if self.taps.contains(&router_id) {
@@ -340,9 +385,7 @@ impl Network {
         let (proc_lo, proc_hi) = self.config.processing_delay;
         let processing = if proc_hi > proc_lo {
             proc_lo
-                + SimDuration::from_millis(
-                    self.rng.below((proc_hi - proc_lo).as_millis().max(1)),
-                )
+                + SimDuration::from_millis(self.rng.below((proc_hi - proc_lo).as_millis().max(1)))
         } else {
             proc_lo
         };
@@ -497,8 +540,7 @@ mod tests {
             AsId(20),
             AsId(30),
             SessionPolicy::plain(Relationship::Provider),
-            SessionPolicy::plain(Relationship::Customer)
-                .with_rfd(VendorProfile::Cisco.params()),
+            SessionPolicy::plain(Relationship::Customer).with_rfd(VendorProfile::Cisco.params()),
             None,
         );
         net.attach_tap(AsId(30));
@@ -524,7 +566,10 @@ mod tests {
         // after the burst end (RFD signature, r-delta ≫ 5 min).
         let log = net.tap_log();
         let last = log.last().unwrap();
-        assert!(last.route.is_some(), "burst ends on announce → re-advertised");
+        assert!(
+            last.route.is_some(),
+            "burst ends on announce → re-advertised"
+        );
         let r_delta = last.time.saturating_since(burst_end);
         assert!(
             r_delta > SimDuration::from_mins(5),
@@ -536,7 +581,10 @@ mod tests {
         );
         // And during the burst, AS30 saw far fewer updates than the 120
         // beacon events (damping hid them).
-        let during_burst = log.iter().filter(|r| r.time <= burst_end + SimDuration::from_mins(1)).count();
+        let during_burst = log
+            .iter()
+            .filter(|r| r.time <= burst_end + SimDuration::from_mins(1))
+            .count();
         assert!(
             during_burst < 60,
             "damping must thin the update stream, saw {during_burst}"
@@ -567,10 +615,34 @@ mod tests {
         let mut net = Network::new(cfg());
         let cust = SessionPolicy::plain(Relationship::Customer);
         let prov = SessionPolicy::plain(Relationship::Provider);
-        net.connect(AsId(1), AsId(2), prov, cust, Some(SimDuration::from_millis(10)));
-        net.connect(AsId(1), AsId(3), prov, cust, Some(SimDuration::from_millis(500)));
-        net.connect(AsId(2), AsId(4), prov, cust, Some(SimDuration::from_millis(10)));
-        net.connect(AsId(3), AsId(4), prov, cust, Some(SimDuration::from_millis(10)));
+        net.connect(
+            AsId(1),
+            AsId(2),
+            prov,
+            cust,
+            Some(SimDuration::from_millis(10)),
+        );
+        net.connect(
+            AsId(1),
+            AsId(3),
+            prov,
+            cust,
+            Some(SimDuration::from_millis(500)),
+        );
+        net.connect(
+            AsId(2),
+            AsId(4),
+            prov,
+            cust,
+            Some(SimDuration::from_millis(10)),
+        );
+        net.connect(
+            AsId(3),
+            AsId(4),
+            prov,
+            cust,
+            Some(SimDuration::from_millis(10)),
+        );
         net.attach_tap(AsId(4));
         net.schedule_announce(SimTime::ZERO, AsId(1), pfx(), false);
         net.run_to_quiescence();
@@ -586,6 +658,9 @@ mod tests {
             .iter()
             .filter(|r| r.time > withdrawal_at && r.route.is_some())
             .count();
-        assert!(hunts >= 1, "expected at least one alternative-path announcement");
+        assert!(
+            hunts >= 1,
+            "expected at least one alternative-path announcement"
+        );
     }
 }

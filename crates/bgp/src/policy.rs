@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn reversed_is_involutive() {
-        for r in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for r in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
             assert_eq!(r.reversed().reversed(), r);
         }
         assert_eq!(Relationship::Customer.reversed(), Relationship::Provider);

@@ -35,7 +35,10 @@ impl Prefix {
     /// cleared, so `10.0.0.7/24` normalises to `10.0.0.0/24`.
     pub fn new(addr: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} exceeds 32");
-        Prefix { addr: addr & Self::mask(len), len }
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// Build from dotted-quad octets.
@@ -57,6 +60,7 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -128,7 +132,12 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.3.0/24", "147.28.241.0/24", "192.168.1.128/25"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.3.0/24",
+            "147.28.241.0/24",
+            "192.168.1.128/25",
+        ] {
             let p: Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }
@@ -136,7 +145,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0/24", "a.b.c.d/24", "10.0.0.0.0/24", ""] {
+        for s in [
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0/24",
+            "a.b.c.d/24",
+            "10.0.0.0.0/24",
+            "",
+        ] {
             assert!(s.parse::<Prefix>().is_err(), "accepted {s:?}");
         }
     }
@@ -171,8 +187,10 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v: Vec<Prefix> =
-            ["10.0.1.0/24", "10.0.0.0/24", "9.0.0.0/8"].iter().map(|s| s.parse().unwrap()).collect();
+        let mut v: Vec<Prefix> = ["10.0.1.0/24", "10.0.0.0/24", "9.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         v.sort();
         assert_eq!(v[0].to_string(), "9.0.0.0/8");
     }

@@ -127,7 +127,8 @@ impl RfdParams {
     /// A penalty capped here decays to the reuse threshold in exactly
     /// `max_suppress_time`, so no route stays suppressed longer.
     pub fn penalty_ceiling(&self) -> f64 {
-        let exponent = self.max_suppress_time.as_millis() as f64 / self.half_life.as_millis() as f64;
+        let exponent =
+            self.max_suppress_time.as_millis() as f64 / self.half_life.as_millis() as f64;
         self.reuse_threshold * exponent.exp2()
     }
 
@@ -222,7 +223,11 @@ pub struct RfdState {
 
 impl Default for RfdState {
     fn default() -> Self {
-        RfdState { penalty: 0.0, updated_at: SimTime::ZERO, suppressed: false }
+        RfdState {
+            penalty: 0.0,
+            updated_at: SimTime::ZERO,
+            suppressed: false,
+        }
     }
 }
 
@@ -375,7 +380,10 @@ mod tests {
         let p = cisco();
         let mut s = RfdState::new();
         // Three withdrawals one minute apart: penalties ~1000, ~2000 → suppress.
-        assert_eq!(s.record(FlapKind::Withdrawal, SimTime::from_mins(0), &p), RfdTransition::StillUsable);
+        assert_eq!(
+            s.record(FlapKind::Withdrawal, SimTime::from_mins(0), &p),
+            RfdTransition::StillUsable
+        );
         assert_eq!(
             s.record(FlapKind::Readvertisement, SimTime::from_mins(1), &p),
             RfdTransition::StillUsable
@@ -433,10 +441,16 @@ mod tests {
         // 4 attribute changes in rapid succession: 2000 — right at the
         // threshold but not over, so still usable; a fifth pushes it over.
         for _ in 0..4 {
-            assert_eq!(s.record(FlapKind::AttributeChange, t, &p), RfdTransition::StillUsable);
+            assert_eq!(
+                s.record(FlapKind::AttributeChange, t, &p),
+                RfdTransition::StillUsable
+            );
             t += SimDuration::from_secs(1);
         }
-        assert_eq!(s.record(FlapKind::AttributeChange, t, &p), RfdTransition::Suppressed);
+        assert_eq!(
+            s.record(FlapKind::AttributeChange, t, &p),
+            RfdTransition::Suppressed
+        );
     }
 
     #[test]
@@ -449,7 +463,10 @@ mod tests {
             t += SimDuration::from_mins(1);
         }
         let first_release = s.release_at(&p).unwrap();
-        assert_eq!(s.record(FlapKind::Withdrawal, t, &p), RfdTransition::StillSuppressed);
+        assert_eq!(
+            s.record(FlapKind::Withdrawal, t, &p),
+            RfdTransition::StillSuppressed
+        );
         let second_release = s.release_at(&p).unwrap();
         assert!(second_release > first_release);
     }

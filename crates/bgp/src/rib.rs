@@ -131,7 +131,10 @@ mod tests {
     }
 
     fn route(tag: u32) -> Route {
-        Route { path: AsPath::from_slice(&[AsId(tag)]), aggregator: None }
+        Route {
+            path: AsPath::from_slice(&[AsId(tag)]),
+            aggregator: None,
+        }
     }
 
     #[test]
@@ -190,9 +193,12 @@ mod tests {
         let mut t = SimTime::ZERO;
         while !entry.rfd.is_suppressed() {
             entry.rfd.record(FK::Withdrawal, t, &params);
-            t = t + netsim::SimDuration::from_secs(10);
+            t += netsim::SimDuration::from_secs(10);
         }
         assert!(rib.get(pfx()).unwrap().usable().is_none());
-        assert!(rib.get(pfx()).unwrap().route.is_some(), "route kept while suppressed");
+        assert!(
+            rib.get(pfx()).unwrap().route.is_some(),
+            "route kept while suppressed"
+        );
     }
 }

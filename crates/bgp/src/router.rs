@@ -136,7 +136,15 @@ impl Router {
     pub fn add_session(&mut self, peer: AsId, policy: SessionPolicy) {
         assert_ne!(peer, self.asn, "cannot peer with self");
         let mrai = MraiGate::new(policy.mrai);
-        self.neighbors.insert(peer, Neighbor { policy, adj_in: AdjRibIn::new(), adj_out: BTreeMap::new(), mrai });
+        self.neighbors.insert(
+            peer,
+            Neighbor {
+                policy,
+                adj_in: AdjRibIn::new(),
+                adj_out: BTreeMap::new(),
+                mrai,
+            },
+        );
     }
 
     /// The session policy towards `peer`, if a session exists.
@@ -167,7 +175,12 @@ impl Router {
     pub fn rfd_penalty(&self, peer: AsId, prefix: Prefix, now: SimTime) -> Option<f64> {
         let n = self.neighbors.get(&peer)?;
         let params = n.policy.rfd_for(prefix)?;
-        Some(n.adj_in.get(prefix).map(|e| e.rfd.penalty_at(now, params)).unwrap_or(0.0))
+        Some(
+            n.adj_in
+                .get(prefix)
+                .map(|e| e.rfd.penalty_at(now, params))
+                .unwrap_or(0.0),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -195,7 +208,9 @@ impl Router {
         // 2. Adj-RIB-In + flap classification.
         let (kind, rib_changed) = match action {
             BgpAction::Announce { path, aggregator } => {
-                neighbor.adj_in.apply_announce(prefix, Route { path, aggregator }, now)
+                neighbor
+                    .adj_in
+                    .apply_announce(prefix, Route { path, aggregator }, now)
             }
             BgpAction::Withdraw => neighbor.adj_in.apply_withdraw(prefix, now),
         };
@@ -208,7 +223,10 @@ impl Router {
                 let entry = neighbor.adj_in.entry(prefix);
                 match entry.rfd.record(kind, now, &params) {
                     RfdTransition::Suppressed => {
-                        let at = entry.rfd.release_at(&params).expect("suppressed has release time");
+                        let at = entry
+                            .rfd
+                            .release_at(&params)
+                            .expect("suppressed has release time");
                         out.rfd_timers.push((from, prefix, at));
                         usability_changed = true;
                     }
@@ -221,7 +239,12 @@ impl Router {
                     }
                     RfdTransition::StillUsable => {}
                 }
-            } else if neighbor.adj_in.get(prefix).map(|e| e.rfd.is_suppressed()).unwrap_or(false) {
+            } else if neighbor
+                .adj_in
+                .get(prefix)
+                .map(|e| e.rfd.is_suppressed())
+                .unwrap_or(false)
+            {
                 usability_changed = false;
             }
         }
@@ -308,18 +331,22 @@ impl Router {
             None => self.loc_rib.remove(&prefix),
         };
 
-        let mut out = RouterOutput::default();
-        out.loc_rib_change = Some(LocRibChange {
-            prefix,
-            route: new.as_ref().map(|s| s.exported_view(self.asn)),
-        });
+        let mut out = RouterOutput {
+            loc_rib_change: Some(LocRibChange {
+                prefix,
+                route: new.as_ref().map(|s| s.exported_view(self.asn)),
+            }),
+            ..RouterOutput::default()
+        };
         out.merge(self.export(prefix, new.as_ref(), now));
         out
     }
 
     fn compute_best(&self, prefix: Prefix) -> Option<Selection> {
         if let Some(aggregator) = self.originated.get(&prefix) {
-            return Some(Selection::Local { aggregator: *aggregator });
+            return Some(Selection::Local {
+                aggregator: *aggregator,
+            });
         }
         let candidates = self.neighbors.iter().filter_map(|(&asn, n)| {
             let entry = n.adj_in.get(prefix)?;
@@ -329,7 +356,11 @@ impl Router {
             if route.path.contains(self.asn) {
                 return None;
             }
-            Some(Candidate { neighbor: asn, relationship: n.policy.relationship, route })
+            Some(Candidate {
+                neighbor: asn,
+                relationship: n.policy.relationship,
+                route,
+            })
         });
         select_best(candidates).map(|c| Selection::Learned {
             neighbor: c.neighbor,
@@ -339,7 +370,12 @@ impl Router {
 
     /// Diff the desired advertisement against each neighbor's Adj-RIB-Out
     /// and emit the needed updates through the MRAI gate.
-    fn export(&mut self, prefix: Prefix, selection: Option<&Selection>, now: SimTime) -> RouterOutput {
+    fn export(
+        &mut self,
+        prefix: Prefix,
+        selection: Option<&Selection>,
+        now: SimTime,
+    ) -> RouterOutput {
         let own = self.asn;
         // Who did we learn the best route from (split horizon), and what
         // relationship was it learned over (Gao–Rexford)?
@@ -357,15 +393,21 @@ impl Router {
             let desired: Option<Route> = match selection {
                 None => None,
                 Some(sel) => {
-                    if learned_from == Some(peer) {
-                        None // split horizon: never advertise back
-                    } else if !ExportPolicy::permits(learned_rel, neighbor.policy.relationship) {
+                    // Split horizon (never advertise back to the peer the
+                    // route was learned from) or export policy forbids.
+                    if learned_from == Some(peer)
+                        || !ExportPolicy::permits(learned_rel, neighbor.policy.relationship)
+                    {
                         None
                     } else {
                         let base = sel.exported_view(own);
                         let extra = neighbor.policy.prepend_extra;
                         Some(Route {
-                            path: if extra > 0 { base.path.prepend(own, extra) } else { base.path },
+                            path: if extra > 0 {
+                                base.path.prepend(own, extra)
+                            } else {
+                                base.path
+                            },
                             aggregator: base.aggregator,
                         })
                     }
@@ -436,7 +478,11 @@ mod tests {
     #[test]
     fn origination_exports_to_all_neighbors() {
         let mut r = sample_router();
-        let out = r.originate(pfx(), Some(AggregatorStamp::new(SimTime::ZERO)), SimTime::ZERO);
+        let out = r.originate(
+            pfx(),
+            Some(AggregatorStamp::new(SimTime::ZERO)),
+            SimTime::ZERO,
+        );
         assert_eq!(out.sends.len(), 2);
         for (_, u) in &out.sends {
             match &u.action {
@@ -473,7 +519,11 @@ mod tests {
         r.add_session(AsId(5), plain(Relationship::Customer));
         let out = r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
         let dests: Vec<AsId> = out.sends.iter().map(|(d, _)| *d).collect();
-        assert_eq!(dests, vec![AsId(5)], "provider route goes only to customers");
+        assert_eq!(
+            dests,
+            vec![AsId(5)],
+            "provider route goes only to customers"
+        );
     }
 
     #[test]
@@ -538,7 +588,10 @@ mod tests {
         let looped = BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(2), AsId(1)]), None);
         let out = r.handle_update(AsId(2), looped, SimTime::from_secs(1));
         assert!(r.best(pfx()).is_none());
-        assert!(out.sends.iter().any(|(_, u)| matches!(u.action, BgpAction::Withdraw)));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(_, u)| matches!(u.action, BgpAction::Withdraw)));
     }
 
     #[test]
@@ -561,14 +614,18 @@ mod tests {
                 suppressed_at = Some((now, at));
                 break;
             }
-            now = now + SimDuration::from_secs(60);
+            now += SimDuration::from_secs(60);
         }
         let (t_supp, t_release) = suppressed_at.expect("suppression must trigger");
         assert!(r.is_suppressed(AsId(2), pfx()));
         assert!(t_release > t_supp + SimDuration::from_mins(10));
 
         // While suppressed, further updates do not propagate downstream.
-        let out = r.handle_update(AsId(2), announce_from(2), t_supp + SimDuration::from_secs(60));
+        let out = r.handle_update(
+            AsId(2),
+            announce_from(2),
+            t_supp + SimDuration::from_secs(60),
+        );
         assert!(out.sends.is_empty(), "suppressed flaps must not export");
 
         // The reuse timer may need re-arming (the extra flap above pushed
@@ -584,7 +641,9 @@ mod tests {
             // Released: the stored announcement re-exports downstream.
             released = true;
             assert!(
-                out.sends.iter().any(|(to, u)| *to == AsId(3) && u.action.is_announce()),
+                out.sends
+                    .iter()
+                    .any(|(to, u)| *to == AsId(3) && u.action.is_announce()),
                 "release must re-advertise"
             );
             break;
@@ -606,9 +665,9 @@ mod tests {
         let mut now = SimTime::ZERO;
         while !r.is_suppressed(AsId(2), pfx()) {
             r.handle_update(AsId(2), BgpUpdate::withdraw(pfx()), now);
-            now = now + SimDuration::from_secs(30);
+            now += SimDuration::from_secs(30);
             r.handle_update(AsId(2), announce_from(2), now);
-            now = now + SimDuration::from_secs(30);
+            now += SimDuration::from_secs(30);
         }
         // Fire deliberately early, then follow the re-arm chain.
         let mut fire_at = now + SimDuration::from_secs(1);
@@ -648,7 +707,7 @@ mod tests {
             };
             r.handle_update(AsId(2), u2, now);
             r.handle_update(AsId(4), u4, now);
-            now = now + SimDuration::from_secs(60);
+            now += SimDuration::from_secs(60);
         }
         assert!(r.is_suppressed(AsId(2), pfx()));
         assert!(!r.is_suppressed(AsId(4), pfx()));
@@ -714,11 +773,19 @@ mod tests {
     fn better_relationship_replaces_current_best() {
         let mut r = sample_router();
         // Provider route first.
-        r.handle_update(AsId(3), BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(3)]), None), SimTime::ZERO);
-        assert!(matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(3)));
+        r.handle_update(
+            AsId(3),
+            BgpUpdate::announce(pfx(), AsPath::from_slice(&[AsId(3)]), None),
+            SimTime::ZERO,
+        );
+        assert!(
+            matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(3))
+        );
         // Customer route displaces it despite equal length.
         let out = r.handle_update(AsId(2), announce_from(2), SimTime::from_secs(1));
-        assert!(matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(2)));
+        assert!(
+            matches!(r.best(pfx()), Some(Selection::Learned { neighbor, .. }) if *neighbor == AsId(2))
+        );
         // The new best is customer-learned → exported to the provider.
         assert!(out.sends.iter().any(|(to, _)| *to == AsId(3)));
     }

@@ -75,17 +75,25 @@ impl Dump {
     /// Announcements whose aggregator stamp is present and valid —
     /// the paper's validity filter (§4.3).
     pub fn valid_announcements(&self) -> impl Iterator<Item = &UpdateRecord> {
-        self.records.iter().filter(|r| r.is_announcement() && r.beacon_time().is_some())
+        self.records
+            .iter()
+            .filter(|r| r.is_announcement() && r.beacon_time().is_some())
     }
 
     /// Share of announcements that fail the validity filter.
     pub fn invalid_share(&self) -> f64 {
-        let announcements: Vec<&UpdateRecord> =
-            self.records.iter().filter(|r| r.is_announcement()).collect();
+        let announcements: Vec<&UpdateRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.is_announcement())
+            .collect();
         if announcements.is_empty() {
             return 0.0;
         }
-        let invalid = announcements.iter().filter(|r| r.beacon_time().is_none()).count();
+        let invalid = announcements
+            .iter()
+            .filter(|r| r.beacon_time().is_none())
+            .count();
         invalid as f64 / announcements.len() as f64
     }
 
@@ -106,13 +114,17 @@ impl Dump {
 
     /// Records published by one project.
     pub fn for_project(&self, project: Project) -> Vec<&UpdateRecord> {
-        self.records.iter().filter(|r| r.project == project).collect()
+        self.records
+            .iter()
+            .filter(|r| r.project == project)
+            .collect()
     }
 
     /// Merge another dump (re-sorting by export time).
     pub fn merge(&mut self, other: Dump) {
         self.records.extend(other.records);
-        self.records.sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
+        self.records
+            .sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
     }
 
     /// Propagation delays (beacon send → VP arrival) of all valid
@@ -161,14 +173,22 @@ mod tests {
 
     #[test]
     fn validity_filter() {
-        let d = Dump::new(vec![rec(1, 10, true, true), rec(1, 20, true, false), rec(1, 30, false, true)]);
+        let d = Dump::new(vec![
+            rec(1, 10, true, true),
+            rec(1, 20, true, false),
+            rec(1, 30, false, true),
+        ]);
         assert_eq!(d.valid_announcements().count(), 1);
         assert!((d.invalid_share() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn grouping_preserves_order() {
-        let d = Dump::new(vec![rec(1, 10, true, true), rec(2, 15, true, true), rec(1, 20, false, true)]);
+        let d = Dump::new(vec![
+            rec(1, 10, true, true),
+            rec(2, 15, true, true),
+            rec(1, 20, false, true),
+        ]);
         let groups = d.by_vantage_prefix();
         assert_eq!(groups.len(), 2);
         let g1 = &groups[&(AsId(1), "10.0.0.0/24".parse().unwrap())];

@@ -51,12 +51,8 @@ impl Project {
                 let next = ms.div_ceil(cadence) * cadence;
                 SimTime::from_millis(next.max(ms))
             }
-            Project::Isolario => {
-                observed_at + SimDuration::from_secs(5 + rng.below(25))
-            }
-            Project::RipeRis => {
-                observed_at + SimDuration::from_secs(5 + rng.below(85))
-            }
+            Project::Isolario => observed_at + SimDuration::from_secs(5 + rng.below(25)),
+            Project::RipeRis => observed_at + SimDuration::from_secs(5 + rng.below(85)),
         }
     }
 }
@@ -91,7 +87,10 @@ impl Default for CollectorConfig {
 impl CollectorConfig {
     /// A noiseless configuration (for deterministic tests).
     pub fn clean() -> Self {
-        CollectorConfig { aggregator_corruption: 0.0, ..Default::default() }
+        CollectorConfig {
+            aggregator_corruption: 0.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -153,12 +152,7 @@ impl CollectorSet {
     ///
     /// `horizon` is the campaign end: blackout windows are placed inside
     /// `[0, horizon)`.
-    pub fn process(
-        &self,
-        taps: &[TapRecord],
-        config: &CollectorConfig,
-        horizon: SimTime,
-    ) -> Dump {
+    pub fn process(&self, taps: &[TapRecord], config: &CollectorConfig, horizon: SimTime) -> Dump {
         let mut rng = SimRng::new(config.seed).split("collector-noise");
 
         // Pre-draw blackout windows per VP (deterministic per seed).
@@ -210,8 +204,8 @@ impl CollectorSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpsim::{AsPath, Prefix};
     use bgpsim::AggregatorStamp;
+    use bgpsim::{AsPath, Prefix};
 
     fn vps() -> Vec<AsId> {
         (1..=9).map(AsId).collect()
@@ -220,7 +214,9 @@ mod tests {
     fn tap(vp: u32, t_secs: u64, announced: bool) -> TapRecord {
         let route = announced.then(|| bgpsim::rib::Route {
             path: AsPath::from_slice(&[AsId(vp), AsId(100)]),
-            aggregator: Some(AggregatorStamp::new(SimTime::from_secs(t_secs.saturating_sub(1)))),
+            aggregator: Some(AggregatorStamp::new(SimTime::from_secs(
+                t_secs.saturating_sub(1),
+            ))),
         });
         TapRecord {
             vantage: AsId(vp),
@@ -294,7 +290,10 @@ mod tests {
     #[test]
     fn corruption_flags_but_keeps_records() {
         let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
-        let cfg = CollectorConfig { aggregator_corruption: 1.0, ..CollectorConfig::clean() };
+        let cfg = CollectorConfig {
+            aggregator_corruption: 1.0,
+            ..CollectorConfig::clean()
+        };
         let dump = set.process(&[tap(1, 10, true)], &cfg, SimTime::from_mins(60));
         assert_eq!(dump.len(), 1);
         let rec = &dump.records()[0];
@@ -322,8 +321,9 @@ mod tests {
     #[test]
     fn records_sorted_by_export_time() {
         let set = CollectorSet::assign(&vps(), 9);
-        let taps: Vec<TapRecord> =
-            (0..50).map(|i| tap(1 + (i % 9) as u32, 1000 - 20 * i, true)).collect();
+        let taps: Vec<TapRecord> = (0..50)
+            .map(|i| tap(1 + (i % 9) as u32, 1000 - 20 * i, true))
+            .collect();
         let dump = set.process(&taps, &CollectorConfig::clean(), SimTime::from_mins(60));
         let times: Vec<SimTime> = dump.records().iter().map(|r| r.exported_at).collect();
         let mut sorted = times.clone();
@@ -334,8 +334,11 @@ mod tests {
     #[test]
     fn withdrawals_have_no_path_or_stamp() {
         let set = CollectorSet::single(&[AsId(1)], Project::RipeRis);
-        let dump =
-            set.process(&[tap(1, 5, false)], &CollectorConfig::clean(), SimTime::from_mins(60));
+        let dump = set.process(
+            &[tap(1, 5, false)],
+            &CollectorConfig::clean(),
+            SimTime::from_mins(60),
+        );
         let rec = &dump.records()[0];
         assert!(rec.path.is_none());
         assert!(rec.aggregator.is_none());

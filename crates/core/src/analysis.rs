@@ -57,7 +57,11 @@ impl AnalysisConfig {
     /// A fast configuration for unit tests and examples.
     pub fn fast(seed: u64) -> Self {
         AnalysisConfig {
-            chain: ChainConfig { warmup: 200, samples: 400, thin: 1 },
+            chain: ChainConfig {
+                warmup: 200,
+                samples: 400,
+                thin: 1,
+            },
             n_chains: 2,
             seed,
             ..Default::default()
@@ -128,7 +132,10 @@ pub struct Analysis {
 impl Analysis {
     /// Run the full pipeline.
     pub fn run(data: &PathData, config: &AnalysisConfig) -> Analysis {
-        assert!(config.run_mh || config.run_hmc, "enable at least one kernel");
+        assert!(
+            config.run_mh || config.run_hmc,
+            "enable at least one kernel"
+        );
         let rng = SimRng::new(config.seed);
 
         let mh_chains = if config.run_mh {
@@ -161,11 +168,21 @@ impl Analysis {
         let n = data.num_nodes();
         let mut reports = Vec::with_capacity(n);
         let mut categories = Vec::with_capacity(n);
+        let mut col: Vec<f64> = Vec::new();
         for i in 0..n {
-            let mh = mh_pooled.as_ref().map(|c| Marginal::from_samples(&c.column(i), config.hpdi_level));
-            let hmc =
-                hmc_pooled.as_ref().map(|c| Marginal::from_samples(&c.column(i), config.hpdi_level));
-            let votes = [mh, hmc].iter().flatten().map(Category::from_marginal).collect::<Vec<_>>();
+            let mh = mh_pooled.as_ref().map(|c| {
+                c.copy_column(i, &mut col);
+                Marginal::from_samples(&col, config.hpdi_level)
+            });
+            let hmc = hmc_pooled.as_ref().map(|c| {
+                c.copy_column(i, &mut col);
+                Marginal::from_samples(&col, config.hpdi_level)
+            });
+            let votes = [mh, hmc]
+                .iter()
+                .flatten()
+                .map(Category::from_marginal)
+                .collect::<Vec<_>>();
             let category = Category::combine(votes);
             categories.push(category);
             reports.push(AsReport {
@@ -179,8 +196,7 @@ impl Analysis {
         }
 
         // Inconsistent-damper pass over the pooled joint samples.
-        let all_chains: Vec<&Chain> =
-            mh_pooled.iter().chain(hmc_pooled.iter()).collect();
+        let all_chains: Vec<&Chain> = mh_pooled.iter().chain(hmc_pooled.iter()).collect();
         let pin = pinpoint_inconsistent(data, &categories, &all_chains);
         apply_pinpoint(data, &mut categories, &pin);
         for (i, report) in reports.iter_mut().enumerate() {
@@ -194,9 +210,16 @@ impl Analysis {
         }
 
         let max_r_hat = {
-            let r_mh = if mh_chains.len() > 1 { diagnostics::max_r_hat(&mh_chains) } else { f64::NAN };
-            let r_hmc =
-                if hmc_chains.len() > 1 { diagnostics::max_r_hat(&hmc_chains) } else { f64::NAN };
+            let r_mh = if mh_chains.len() > 1 {
+                diagnostics::max_r_hat(&mh_chains)
+            } else {
+                f64::NAN
+            };
+            let r_hmc = if hmc_chains.len() > 1 {
+                diagnostics::max_r_hat(&hmc_chains)
+            } else {
+                f64::NAN
+            };
             match (r_mh.is_nan(), r_hmc.is_nan()) {
                 (false, false) => r_mh.max(r_hmc),
                 (false, true) => r_mh,
@@ -221,7 +244,11 @@ impl Analysis {
 
     /// ASs flagged with the property (category 4/5).
     pub fn property_nodes(&self) -> Vec<NodeId> {
-        self.reports.iter().filter(|r| r.is_property()).map(|r| r.id).collect()
+        self.reports
+            .iter()
+            .filter(|r| r.is_property())
+            .map(|r| r.id)
+            .collect()
     }
 
     /// Counts per category `[C1, C2, C3, C4, C5]` (Table 2's rows).
@@ -262,7 +289,12 @@ mod tests {
     fn full_pipeline_classifies_clear_cases() {
         // 1 damps (alone on showing paths), 2 clean, 3 shadowed behind 1.
         let obs = observations(
-            &[(&[1], true), (&[1, 3], true), (&[2], false), (&[2, 4], false)],
+            &[
+                (&[1], true),
+                (&[1, 3], true),
+                (&[2], false),
+                (&[2, 4], false),
+            ],
             20,
         );
         let data = PathData::from_observations(&obs, &[]);
@@ -273,12 +305,20 @@ mod tests {
         assert!(r1.is_property());
 
         let r2 = a.report(NodeId(2)).unwrap();
-        assert!(matches!(r2.category, Category::C1 | Category::C2), "clean: {:?}", r2.category);
+        assert!(
+            matches!(r2.category, Category::C1 | Category::C2),
+            "clean: {:?}",
+            r2.category
+        );
 
         // Node 3 only ever appears behind the damper: no information →
         // prior recovered → C1/C2/C3, definitely not flagged.
         let r3 = a.report(NodeId(3)).unwrap();
-        assert!(!r3.is_property(), "shadowed AS must not be flagged: {:?}", r3.category);
+        assert!(
+            !r3.is_property(),
+            "shadowed AS must not be flagged: {:?}",
+            r3.category
+        );
     }
 
     #[test]
@@ -323,7 +363,11 @@ mod tests {
         // Clean co-travellers stay unflagged.
         for id in [3, 4, 6, 7] {
             let r = a.report(NodeId(id)).unwrap();
-            assert!(!r.is_property(), "node {id} wrongly flagged {:?}", r.category);
+            assert!(
+                !r.is_property(),
+                "node {id} wrongly flagged {:?}",
+                r.category
+            );
         }
     }
 
@@ -343,7 +387,11 @@ mod tests {
         let obs = observations(&[(&[1], true), (&[2], false)], 10);
         let data = PathData::from_observations(&obs, &[]);
         for (mh, hmc) in [(true, false), (false, true)] {
-            let cfg = AnalysisConfig { run_mh: mh, run_hmc: hmc, ..AnalysisConfig::fast(4) };
+            let cfg = AnalysisConfig {
+                run_mh: mh,
+                run_hmc: hmc,
+                ..AnalysisConfig::fast(4)
+            };
             let a = Analysis::run(&data, &cfg);
             let r = a.report(NodeId(1)).unwrap();
             assert!(r.is_property(), "mh={mh} hmc={hmc}");
@@ -358,7 +406,11 @@ mod tests {
         let data = PathData::from_observations(&obs, &[]);
         let cfg = AnalysisConfig {
             n_chains: 4,
-            chain: ChainConfig { warmup: 400, samples: 600, thin: 1 },
+            chain: ChainConfig {
+                warmup: 400,
+                samples: 600,
+                thin: 1,
+            },
             ..AnalysisConfig::fast(5)
         };
         let a = Analysis::run(&data, &cfg);

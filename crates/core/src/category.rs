@@ -71,7 +71,11 @@ impl Category {
     pub fn from_hpdi(low: f64, high: f64) -> Category {
         // Damping flags: the interval must sit high, not merely reach high.
         if low >= 0.7 {
-            return if high >= 0.85 { Category::C5 } else { Category::C4 };
+            return if high >= 0.85 {
+                Category::C5
+            } else {
+                Category::C4
+            };
         }
         // Non-damping flags: the interval must sit low.
         if high < 0.15 {
@@ -153,13 +157,28 @@ mod tests {
     fn marginal_combination() {
         use crate::summary::Marginal;
         // Strong damper: mean 0.95, tight interval.
-        let m = Marginal { mean: 0.95, hpdi_low: 0.9, hpdi_high: 0.99, level: 0.95 };
+        let m = Marginal {
+            mean: 0.95,
+            hpdi_low: 0.9,
+            hpdi_high: 0.99,
+            level: 0.95,
+        };
         assert_eq!(Category::from_marginal(&m), Category::C5);
         // Uncertain: mean 0.5, wide interval.
-        let m = Marginal { mean: 0.5, hpdi_low: 0.05, hpdi_high: 0.95, level: 0.95 };
+        let m = Marginal {
+            mean: 0.5,
+            hpdi_low: 0.05,
+            hpdi_high: 0.95,
+            level: 0.95,
+        };
         assert_eq!(Category::from_marginal(&m), Category::C3);
         // Mean in C2 band, interval agrees.
-        let m = Marginal { mean: 0.2, hpdi_low: 0.1, hpdi_high: 0.28, level: 0.95 };
+        let m = Marginal {
+            mean: 0.2,
+            hpdi_low: 0.1,
+            hpdi_high: 0.28,
+            level: 0.95,
+        };
         assert_eq!(Category::from_marginal(&m), Category::C2);
     }
 

@@ -1,5 +1,10 @@
 //! The sampler abstraction and chain driver: warmup, thinning, and
 //! parallel multi-chain execution.
+//!
+//! Draws are stored row-major in one flat `Vec<f64>` (draw `s`, coordinate
+//! `i` at `s * dim + i`) instead of a `Vec` per draw: one allocation per
+//! chain, contiguous scans for the diagnostics, and cheap concatenation
+//! when pooling.
 
 use netsim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -38,6 +43,10 @@ pub trait Sampler {
     fn adapt(&mut self, iter: usize, total: usize);
     /// Overall acceptance rate so far.
     fn acceptance_rate(&self) -> f64;
+    /// Total proposals made so far (the denominator of
+    /// [`Self::acceptance_rate`]); lets callers weight rates correctly
+    /// when pooling chains.
+    fn proposals(&self) -> u64;
     /// Which kind this is.
     fn kind(&self) -> SamplerKind;
 }
@@ -55,62 +64,169 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> Self {
-        ChainConfig { warmup: 500, samples: 1000, thin: 1 }
+        ChainConfig {
+            warmup: 500,
+            samples: 1000,
+            thin: 1,
+        }
     }
 }
 
-/// Posterior samples from one chain.
+/// Posterior samples from one chain, stored row-major.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Chain {
     /// Kernel that produced the samples.
     pub kind: SamplerKind,
-    /// Row-major samples: `samples[s][i]` is `p_i` in draw `s`.
-    pub samples: Vec<Vec<f64>>,
+    /// Flat row-major draws: coordinate `i` of draw `s` is
+    /// `samples[s * dim + i]`.
+    samples: Vec<f64>,
+    /// Coordinates per draw.
+    dim: usize,
+    /// Retained draws.
+    draws: usize,
     /// Overall acceptance rate of the kernel.
     pub accept_rate: f64,
+    /// Proposals behind `accept_rate` (0 when unknown, e.g. synthetic
+    /// chains); used to weight pooled rates.
+    pub proposals: u64,
 }
 
 impl Chain {
+    /// An empty chain of the given dimensionality.
+    pub fn new(kind: SamplerKind, dim: usize) -> Chain {
+        Chain {
+            kind,
+            samples: Vec::new(),
+            dim,
+            draws: 0,
+            accept_rate: 0.0,
+            proposals: 0,
+        }
+    }
+
+    /// An empty chain with room for `draws` draws.
+    pub fn with_capacity(kind: SamplerKind, dim: usize, draws: usize) -> Chain {
+        Chain {
+            kind,
+            samples: Vec::with_capacity(dim * draws),
+            dim,
+            draws: 0,
+            accept_rate: 0.0,
+            proposals: 0,
+        }
+    }
+
+    /// Build a chain from explicit rows (tests, synthetic posteriors).
+    pub fn from_rows(kind: SamplerKind, rows: Vec<Vec<f64>>, accept_rate: f64) -> Chain {
+        let dim = rows.first().map(Vec::len).unwrap_or(0);
+        let mut chain = Chain::with_capacity(kind, dim, rows.len());
+        chain.accept_rate = accept_rate;
+        for row in &rows {
+            chain.push_row(row);
+        }
+        chain
+    }
+
+    /// Append one draw.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        self.samples.extend_from_slice(row);
+        self.draws += 1;
+    }
+
     /// Number of draws.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.draws
     }
 
     /// True when no draws were collected.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.draws == 0
     }
 
     /// Dimensionality.
     pub fn dim(&self) -> usize {
-        self.samples.first().map(Vec::len).unwrap_or(0)
+        self.dim
     }
 
-    /// The marginal draws of coordinate `i`.
+    /// Draw `s` as a coordinate slice.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.samples[s * self.dim..(s + 1) * self.dim]
+    }
+
+    /// Iterate over draws as coordinate slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone + '_ {
+        (0..self.draws).map(move |s| self.row(s))
+    }
+
+    /// The whole row-major sample buffer.
+    pub fn flat(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The marginal draws of coordinate `i` as a fresh vector.
     pub fn column(&self, i: usize) -> Vec<f64> {
-        self.samples.iter().map(|s| s[i]).collect()
+        let mut out = Vec::with_capacity(self.draws);
+        self.copy_column(i, &mut out);
+        out
+    }
+
+    /// Copy the marginal draws of coordinate `i` into `out` (cleared
+    /// first); lets hot loops reuse one scratch buffer across coordinates.
+    pub fn copy_column(&self, i: usize, out: &mut Vec<f64>) {
+        assert!(i < self.dim, "coordinate out of range");
+        out.clear();
+        out.reserve(self.draws);
+        out.extend(self.samples.iter().skip(i).step_by(self.dim).copied());
     }
 
     /// Posterior mean of coordinate `i`.
     pub fn mean(&self, i: usize) -> f64 {
-        if self.samples.is_empty() {
+        if self.draws == 0 {
             return f64::NAN;
         }
-        self.samples.iter().map(|s| s[i]).sum::<f64>() / self.samples.len() as f64
+        let sum: f64 = self.samples.iter().skip(i).step_by(self.dim).sum();
+        sum / self.draws as f64
     }
 
     /// Merge draws from several chains (same kind and dimension).
+    ///
+    /// The pooled acceptance rate is weighted by each chain's proposal
+    /// count — an unweighted average misstates the rate whenever chains
+    /// made different numbers of proposals (e.g. HMC chains with divergent
+    /// early trajectories). Chains without proposal counts fall back to
+    /// draw-count weights.
     pub fn pooled(chains: &[Chain]) -> Chain {
         assert!(!chains.is_empty(), "no chains to pool");
         let kind = chains[0].kind;
-        let mut samples = Vec::new();
-        let mut accept = 0.0;
+        let dim = chains[0].dim;
+        let total_draws: usize = chains.iter().map(Chain::len).sum();
+        let mut pooled = Chain::with_capacity(kind, dim, total_draws);
         for c in chains {
             assert_eq!(c.kind, kind, "cannot pool different kernels");
-            samples.extend(c.samples.iter().cloned());
-            accept += c.accept_rate;
+            assert_eq!(c.dim, dim, "cannot pool different dimensions");
+            pooled.samples.extend_from_slice(&c.samples);
+            pooled.draws += c.draws;
         }
-        Chain { kind, samples, accept_rate: accept / chains.len() as f64 }
+        let total_proposals: u64 = chains.iter().map(|c| c.proposals).sum();
+        pooled.proposals = total_proposals;
+        pooled.accept_rate = if total_proposals > 0 {
+            chains
+                .iter()
+                .map(|c| c.accept_rate * c.proposals as f64)
+                .sum::<f64>()
+                / total_proposals as f64
+        } else if total_draws > 0 {
+            chains
+                .iter()
+                .map(|c| c.accept_rate * c.len() as f64)
+                .sum::<f64>()
+                / total_draws as f64
+        } else {
+            chains.iter().map(|c| c.accept_rate).sum::<f64>() / chains.len() as f64
+        };
+        pooled
     }
 }
 
@@ -120,15 +236,17 @@ pub fn run_chain<S: Sampler>(mut sampler: S, config: &ChainConfig, rng: &mut Sim
         sampler.step(rng);
         sampler.adapt(it, config.warmup);
     }
-    let mut samples = Vec::with_capacity(config.samples);
+    let mut chain = Chain::with_capacity(sampler.kind(), sampler.dim(), config.samples);
     let thin = config.thin.max(1);
     for _ in 0..config.samples {
         for _ in 0..thin {
             sampler.step(rng);
         }
-        samples.push(sampler.state().to_vec());
+        chain.push_row(sampler.state());
     }
-    Chain { kind: sampler.kind(), samples, accept_rate: sampler.acceptance_rate() }
+    chain.accept_rate = sampler.acceptance_rate();
+    chain.proposals = sampler.proposals();
+    chain
 }
 
 /// Run `n_chains` independent chains in parallel threads.
@@ -157,7 +275,9 @@ where
             });
         }
     });
-    out.into_iter().map(|c| c.expect("chain thread completed")).collect()
+    out.into_iter()
+        .map(|c| c.expect("chain thread completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -199,6 +319,9 @@ mod tests {
                 self.accepted as f64 / self.proposed as f64
             }
         }
+        fn proposals(&self) -> u64 {
+            self.proposed
+        }
         fn kind(&self) -> SamplerKind {
             SamplerKind::MetropolisHastings
         }
@@ -208,13 +331,22 @@ mod tests {
     fn driver_collects_requested_samples() {
         let mut rng = SimRng::new(1);
         let chain = run_chain(
-            Toy { x: vec![5.0, -5.0], accepted: 0, proposed: 0 },
-            &ChainConfig { warmup: 500, samples: 3000, thin: 2 },
+            Toy {
+                x: vec![5.0, -5.0],
+                accepted: 0,
+                proposed: 0,
+            },
+            &ChainConfig {
+                warmup: 500,
+                samples: 3000,
+                thin: 2,
+            },
             &mut rng,
         );
         assert_eq!(chain.len(), 3000);
         assert_eq!(chain.dim(), 2);
         assert!(chain.accept_rate > 0.3 && chain.accept_rate < 1.0);
+        assert!(chain.proposals >= 2 * (500 + 2 * 3000) as u64);
         // After warmup the chain forgot its bad start: means near 0
         // (tolerance sized for the random-walk autocorrelation).
         assert!(chain.mean(0).abs() < 0.25, "mean={}", chain.mean(0));
@@ -222,9 +354,35 @@ mod tests {
     }
 
     #[test]
+    fn rows_and_columns_agree_with_flat_layout() {
+        let chain = Chain::from_rows(
+            SamplerKind::Hmc,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            0.5,
+        );
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.dim(), 2);
+        assert_eq!(chain.flat(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(chain.row(1), &[3.0, 4.0]);
+        assert_eq!(chain.column(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(chain.column(1), vec![2.0, 4.0, 6.0]);
+        let rows: Vec<&[f64]> = chain.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+        assert!((chain.mean(1) - 4.0).abs() < 1e-12);
+        let mut buf = vec![99.0; 8];
+        chain.copy_column(1, &mut buf);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
     fn parallel_chains_are_reproducible_and_distinct() {
         let rng = SimRng::new(9);
-        let cfg = ChainConfig { warmup: 50, samples: 100, thin: 1 };
+        let cfg = ChainConfig {
+            warmup: 50,
+            samples: 100,
+            thin: 1,
+        };
         let make = |_k: usize, r: &mut SimRng| Toy {
             x: vec![r.gaussian() * 3.0],
             accepted: 0,
@@ -234,20 +392,60 @@ mod tests {
         let b = run_chains(make, 3, &cfg, &rng);
         assert_eq!(a.len(), 3);
         for (ca, cb) in a.iter().zip(&b) {
-            assert_eq!(ca.samples, cb.samples, "same seed → same chains");
+            assert_eq!(ca.flat(), cb.flat(), "same seed → same chains");
         }
-        assert_ne!(a[0].samples, a[1].samples, "different chains differ");
+        assert_ne!(a[0].flat(), a[1].flat(), "different chains differ");
     }
 
     #[test]
     fn pooled_concatenates() {
         let rng = SimRng::new(2);
-        let cfg = ChainConfig { warmup: 10, samples: 20, thin: 1 };
-        let make =
-            |_k: usize, _r: &mut SimRng| Toy { x: vec![0.0], accepted: 0, proposed: 0 };
+        let cfg = ChainConfig {
+            warmup: 10,
+            samples: 20,
+            thin: 1,
+        };
+        let make = |_k: usize, _r: &mut SimRng| Toy {
+            x: vec![0.0],
+            accepted: 0,
+            proposed: 0,
+        };
         let chains = run_chains(make, 4, &cfg, &rng);
         let pooled = Chain::pooled(&chains);
         assert_eq!(pooled.len(), 80);
         assert_eq!(pooled.column(0).len(), 80);
+    }
+
+    #[test]
+    fn pooled_accept_rate_is_proposal_weighted() {
+        // Chain A: 90 % acceptance over 1000 proposals; chain B: 10 % over
+        // 10. The pooled rate must sit very close to A's, not at the 0.5
+        // midpoint an unweighted average would report.
+        let mut a = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.9);
+        a.proposals = 1000;
+        let mut b = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.1);
+        b.proposals = 10;
+        let pooled = Chain::pooled(&[a, b]);
+        let expect = (0.9 * 1000.0 + 0.1 * 10.0) / 1010.0;
+        assert!(
+            (pooled.accept_rate - expect).abs() < 1e-12,
+            "got {}",
+            pooled.accept_rate
+        );
+        assert_eq!(pooled.proposals, 1010);
+    }
+
+    #[test]
+    fn pooled_accept_rate_falls_back_to_draw_weights() {
+        // Synthetic chains without proposal counts: weight by draws.
+        let a = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 30], 0.6);
+        let b = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 10], 0.2);
+        let pooled = Chain::pooled(&[a, b]);
+        let expect = (0.6 * 30.0 + 0.2 * 10.0) / 40.0;
+        assert!(
+            (pooled.accept_rate - expect).abs() < 1e-12,
+            "got {}",
+            pooled.accept_rate
+        );
     }
 }

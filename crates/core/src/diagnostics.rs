@@ -45,8 +45,12 @@ pub fn effective_sample_size(draws: &[f64]) -> f64 {
 
 /// Minimum ESS across all coordinates of a chain.
 pub fn min_ess(chain: &Chain) -> f64 {
+    let mut buf = Vec::with_capacity(chain.len());
     (0..chain.dim())
-        .map(|i| effective_sample_size(&chain.column(i)))
+        .map(|i| {
+            chain.copy_column(i, &mut buf);
+            effective_sample_size(&buf)
+        })
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -54,32 +58,34 @@ pub fn min_ess(chain: &Chain) -> f64 {
 /// in half and the Gelman–Rubin statistic computed over the 2m half
 /// chains. Values near 1 indicate convergence; > 1.05 is suspect.
 pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
-    let mut halves: Vec<Vec<f64>> = Vec::new();
+    // Per-half statistics gathered from one reused column buffer — no
+    // per-half allocations.
+    let mut col: Vec<f64> = Vec::new();
+    let mut means: Vec<f64> = Vec::new();
+    let mut vars: Vec<f64> = Vec::new();
+    let mut min_len = usize::MAX;
     for c in chains {
-        let col = c.column(coord);
-        if col.len() < 4 {
+        if c.len() < 4 {
             continue;
         }
+        c.copy_column(coord, &mut col);
         let mid = col.len() / 2;
-        halves.push(col[..mid].to_vec());
-        halves.push(col[mid..].to_vec());
+        for half in [&col[..mid], &col[mid..]] {
+            let len = half.len() as f64;
+            let mu = half.iter().sum::<f64>() / len;
+            means.push(mu);
+            vars.push(half.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (len - 1.0));
+            min_len = min_len.min(half.len());
+        }
     }
-    if halves.len() < 2 {
+    if means.len() < 2 {
         return f64::NAN;
     }
-    let m = halves.len() as f64;
-    let n = halves.iter().map(Vec::len).min().expect("non-empty") as f64;
-    let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / h.len() as f64).collect();
+    let m = means.len() as f64;
+    let n = min_len as f64;
     let grand = means.iter().sum::<f64>() / m;
     let b = n / (m - 1.0) * means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>();
-    let w = halves
-        .iter()
-        .zip(&means)
-        .map(|(h, &mu)| {
-            h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (h.len() as f64 - 1.0)
-        })
-        .sum::<f64>()
-        / m;
+    let w = vars.iter().sum::<f64>() / m;
     if w <= 0.0 {
         return 1.0; // identical constant chains: trivially converged
     }
@@ -90,7 +96,9 @@ pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
 /// Worst split-R̂ over all coordinates.
 pub fn max_r_hat(chains: &[Chain]) -> f64 {
     let dim = chains.first().map(Chain::dim).unwrap_or(0);
-    (0..dim).map(|i| split_r_hat(chains, i)).fold(f64::NEG_INFINITY, f64::max)
+    (0..dim)
+        .map(|i| split_r_hat(chains, i))
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 #[cfg(test)]
@@ -100,7 +108,7 @@ mod tests {
     use netsim::SimRng;
 
     fn chain_of(samples: Vec<Vec<f64>>) -> Chain {
-        Chain { kind: SamplerKind::MetropolisHastings, samples, accept_rate: 0.5 }
+        Chain::from_rows(SamplerKind::MetropolisHastings, samples, 0.5)
     }
 
     #[test]

@@ -118,19 +118,20 @@ impl<'a> Hmc<'a> {
     /// Log posterior and its θ-gradient at `theta`.
     fn log_post_and_grad(&mut self, theta: &[f64]) -> (f64, Vec<f64>) {
         let n = theta.len();
-        for i in 0..n {
-            self.scratch_p[i] = sigmoid(theta[i]);
+        for (pi, &ti) in self.scratch_p.iter_mut().zip(theta) {
+            *pi = sigmoid(ti);
         }
         let ll = self.likelihood.eval(&self.scratch_p);
-        self.likelihood.grad(&self.scratch_p, &mut self.scratch_grad_p);
+        self.likelihood
+            .grad(&self.scratch_p, &mut self.scratch_grad_p);
 
         let mut log_post = ll;
         let mut grad = vec![0.0; n];
-        for i in 0..n {
+        for (i, g) in grad.iter_mut().enumerate() {
             let p = self.scratch_p[i];
             let jac = (p * (1.0 - p)).max(1e-18);
             log_post += self.prior.log_density(p) + jac.ln();
-            grad[i] = (self.scratch_grad_p[i] + self.prior.grad(p)) * jac + (1.0 - 2.0 * p);
+            *g = (self.scratch_grad_p[i] + self.prior.grad(p)) * jac + (1.0 - 2.0 * p);
         }
         (log_post, grad)
     }
@@ -172,7 +173,11 @@ impl Sampler for Hmc<'_> {
                 diverged = true;
                 break;
             }
-            let coeff = if step + 1 == self.leapfrog_steps { 0.5 } else { 1.0 };
+            let coeff = if step + 1 == self.leapfrog_steps {
+                0.5
+            } else {
+                1.0
+            };
             for i in 0..n {
                 r[i] += coeff * eps * grad[i];
             }
@@ -221,6 +226,10 @@ impl Sampler for Hmc<'_> {
         }
     }
 
+    fn proposals(&self) -> u64 {
+        self.proposed
+    }
+
     fn kind(&self) -> SamplerKind {
         SamplerKind::Hmc
     }
@@ -267,7 +276,15 @@ mod tests {
         let d = data(&[(&[1], true), (&[2], false)], 30);
         let mut rng = SimRng::new(13);
         let s = Hmc::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 300, samples: 400, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 300,
+                samples: 400,
+                thin: 1,
+            },
+            &mut rng,
+        );
         let i1 = d.index(NodeId(1)).unwrap();
         let i2 = d.index(NodeId(2)).unwrap();
         assert!(chain.mean(i1) > 0.9, "damper mean {}", chain.mean(i1));
@@ -279,7 +296,15 @@ mod tests {
         let d = data(&[(&[1, 2], true), (&[2, 3], false), (&[1, 3], true)], 15);
         let mut rng = SimRng::new(14);
         let s = Hmc::from_prior(&d, Prior::default(), &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 400, samples: 300, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 400,
+                samples: 300,
+                thin: 1,
+            },
+            &mut rng,
+        );
         assert!(
             chain.accept_rate > 0.5 && chain.accept_rate <= 1.0,
             "accept={}",
@@ -292,11 +317,21 @@ mod tests {
         // The two kernels target the same posterior; their estimates of
         // every marginal mean must agree within Monte-Carlo error.
         let d = data(
-            &[(&[1, 2], true), (&[2, 3], false), (&[3], false), (&[1], true), (&[2], false)],
+            &[
+                (&[1, 2], true),
+                (&[2, 3], false),
+                (&[3], false),
+                (&[1], true),
+                (&[2], false),
+            ],
             12,
         );
         let prior = Prior::default();
-        let cfg = ChainConfig { warmup: 600, samples: 1500, thin: 1 };
+        let cfg = ChainConfig {
+            warmup: 600,
+            samples: 1500,
+            thin: 1,
+        };
 
         let mut rng1 = SimRng::new(15);
         let mh = crate::mh::MetropolisHastings::from_prior(&d, prior, &mut rng1);
@@ -318,9 +353,17 @@ mod tests {
         let d = data(&[(&[1], true), (&[2], false)], 5);
         let mut rng = SimRng::new(17);
         let s = Hmc::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 100, samples: 200, thin: 1 }, &mut rng);
-        for s in &chain.samples {
-            for &v in s {
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 100,
+                samples: 200,
+                thin: 1,
+            },
+            &mut rng,
+        );
+        for row in chain.rows() {
+            for &v in row {
                 assert!((0.0..=1.0).contains(&v), "sample {v} out of range");
             }
         }
@@ -332,7 +375,17 @@ mod tests {
         let run = |seed| {
             let mut rng = SimRng::new(seed);
             let s = Hmc::from_prior(&d, Prior::default(), &mut rng);
-            run_chain(s, &ChainConfig { warmup: 60, samples: 60, thin: 1 }, &mut rng).samples
+            run_chain(
+                s,
+                &ChainConfig {
+                    warmup: 60,
+                    samples: 60,
+                    thin: 1,
+                },
+                &mut rng,
+            )
+            .flat()
+            .to_vec()
         };
         assert_eq!(run(30), run(30));
         assert_ne!(run(30), run(31));
@@ -362,7 +415,15 @@ mod tests {
         let d = data(&[(&[1, 2], true)], 40);
         let mut rng = SimRng::new(19);
         let s = Hmc::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 500, samples: 1500, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 500,
+                samples: 1500,
+                thin: 1,
+            },
+            &mut rng,
+        );
         let col = chain.column(0);
         let mean = col.iter().sum::<f64>() / col.len() as f64;
         let var = col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / col.len() as f64;

@@ -58,7 +58,7 @@ pub mod summary;
 pub use analysis::{Analysis, AnalysisConfig, AsReport};
 pub use category::Category;
 pub use chain::{Chain, SamplerKind};
-pub use likelihood::LogLikelihood;
-pub use model::{NodeId, PathData, PathObservation};
+pub use likelihood::{LogLikelihood, DEFAULT_PARALLEL_THRESHOLD};
+pub use model::{NodeId, PathData, PathObservation, PathRef};
 pub use prior::Prior;
 pub use summary::Marginal;

@@ -13,6 +13,33 @@
 //! through node `i`, which makes component-wise Metropolis–Hastings a
 //! `O(paths-through-i)` operation instead of `O(all paths)` —
 //! [`IncrementalLikelihood`] exploits exactly that.
+//!
+//! ## Parallel full evaluation
+//!
+//! [`LogLikelihood::eval`] and [`LogLikelihood::grad`] walk the CSR path
+//! arena in contiguous chunks and, above a tunable path-count threshold
+//! ([`LogLikelihood::with_parallel_threshold`], default
+//! [`DEFAULT_PARALLEL_THRESHOLD`]), fan the chunks out over scoped
+//! threads — the same dependency-free pattern as
+//! [`crate::chain::run_chains`]. Each thread reduces into a private
+//! accumulator (a scalar for `eval`, a gradient buffer for `grad`) that is
+//! summed on the calling thread, so results are deterministic up to
+//! float-addition order within a fixed thread count. Below the threshold,
+//! or on a single-core host, the evaluation stays serial with zero
+//! threading overhead.
+//!
+//! ## Numerical safety at the `log1mexp` boundary
+//!
+//! `log1mexp` requires a non-positive argument. Fresh sums of `log q`
+//! terms are non-positive by construction, but the incremental cache
+//! updates `path_sum[j] += d_log_q` in [`IncrementalLikelihood::commit`],
+//! and accumulated rounding can push a near-zero sum to a small positive
+//! value. That drift used to surface as a `debug_assert` (debug builds) or
+//! a NaN (release builds) after long runs. The invariant is now enforced
+//! in both places: `commit` clamps the stored sum to `≤ 0`, and **every**
+//! `log1mexp` call site clamps its argument with `.min(0.0)`.
+
+use std::ops::Range;
 
 use crate::math::log1mexp;
 use crate::model::PathData;
@@ -20,6 +47,15 @@ use crate::model::PathData;
 /// Lower clamp for `p` and `1 − p`: keeps `log q` finite while being far
 /// below any resolvable posterior mass.
 pub const P_EPS: f64 = 1e-9;
+
+/// Default path count above which [`LogLikelihood::eval`] and
+/// [`LogLikelihood::grad`] use scoped threads. Below it the
+/// fork/join overhead outweighs the work.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
+/// Minimum paths per spawned chunk; stops a huge core count from dicing a
+/// barely-above-threshold dataset into cache-hostile slivers.
+const MIN_CHUNK: usize = 1024;
 
 /// Clamp a probability into the numerically safe open interval.
 #[inline]
@@ -31,12 +67,29 @@ pub fn clamp_p(p: f64) -> f64 {
 #[derive(Clone, Debug)]
 pub struct LogLikelihood<'a> {
     data: &'a PathData,
+    parallel_threshold: usize,
 }
 
 impl<'a> LogLikelihood<'a> {
     /// Bind to a dataset.
     pub fn new(data: &'a PathData) -> Self {
-        LogLikelihood { data }
+        LogLikelihood {
+            data,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Override the path count at which evaluation goes parallel.
+    /// `usize::MAX` forces serial evaluation; `0` forces parallel (useful
+    /// for benchmarks and tests).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// The current parallel threshold.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
     }
 
     /// The underlying dataset.
@@ -44,17 +97,38 @@ impl<'a> LogLikelihood<'a> {
         self.data
     }
 
+    /// How many threads to use for `n_paths` paths.
+    fn thread_count(&self, n_paths: usize) -> usize {
+        if n_paths < self.parallel_threshold.max(1) {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        hw.min(n_paths.div_ceil(MIN_CHUNK)).max(1)
+    }
+
     /// `log P(D | p)`.
     pub fn eval(&self, p: &[f64]) -> f64 {
         assert_eq!(p.len(), self.data.num_nodes(), "dimension mismatch");
         let log_q: Vec<f64> = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
-        let mut total = 0.0;
-        for path in self.data.paths() {
-            let s: f64 = path.nodes.iter().map(|&i| log_q[i]).sum();
-            let contrib = if path.shows_property { log1mexp(s) } else { s };
-            total += f64::from(path.weight) * contrib;
+        let n_paths = self.data.num_paths();
+        let threads = self.thread_count(n_paths);
+        if threads <= 1 {
+            return eval_range(self.data, &log_q, 0..n_paths);
         }
-        total
+        let chunk = n_paths.div_ceil(threads);
+        let mut partials = vec![0.0f64; threads];
+        let data = self.data;
+        let log_q = &log_q;
+        std::thread::scope(|scope| {
+            for (t, out) in partials.iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_paths);
+                scope.spawn(move || *out = eval_range(data, log_q, lo..hi));
+            }
+        });
+        partials.iter().sum()
     }
 
     /// Gradient `∂ log P(D|p) / ∂ p_i` written into `grad` (overwritten).
@@ -68,19 +142,79 @@ impl<'a> LogLikelihood<'a> {
         assert_eq!(grad.len(), p.len());
         let log_q: Vec<f64> = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
         grad.fill(0.0);
-        for path in self.data.paths() {
-            let w = f64::from(path.weight);
-            let s: f64 = path.nodes.iter().map(|&i| log_q[i]).sum();
-            if path.shows_property {
-                let log_denom = log1mexp(s); // log(1 − Q)
-                for &i in &path.nodes {
-                    grad[i] += w * (s - log_q[i] - log_denom).exp();
-                }
-            } else {
-                for &i in &path.nodes {
-                    // −1/q_i = −exp(−log q_i)
-                    grad[i] -= w * (-log_q[i]).exp();
-                }
+        let n_paths = self.data.num_paths();
+        let threads = self.thread_count(n_paths);
+        if threads <= 1 {
+            grad_range(self.data, &log_q, 0..n_paths, grad);
+            return;
+        }
+        let chunk = n_paths.div_ceil(threads);
+        // Private per-thread gradient buffers, reduced after the join.
+        let mut partials = vec![vec![0.0f64; p.len()]; threads];
+        let data = self.data;
+        let log_q = &log_q;
+        std::thread::scope(|scope| {
+            for (t, buf) in partials.iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_paths);
+                scope.spawn(move || grad_range(data, log_q, lo..hi, buf));
+            }
+        });
+        for buf in &partials {
+            for (g, b) in grad.iter_mut().zip(buf) {
+                *g += b;
+            }
+        }
+    }
+}
+
+/// Sum the log-likelihood contribution of paths in `range`.
+///
+/// Walks the CSR arenas with a plain index loop, carrying the low offset
+/// across iterations so each path costs one offset load. (Micro-variants
+/// of this loop — zipped iterators, manual accumulation — measure within
+/// codegen-lottery noise of each other on the bench host; don't re-tune
+/// without an interleaved A/B harness.)
+fn eval_range(data: &PathData, log_q: &[f64], range: Range<usize>) -> f64 {
+    let (arena, meta) = data.path_csr();
+    let mut total = 0.0;
+    let mut lo = meta[range.start].offset as usize;
+    for j in range {
+        let hi = meta[j + 1].offset as usize;
+        let wshow = meta[j].wshow;
+        let s: f64 = arena[lo..hi].iter().map(|&i| log_q[i as usize]).sum();
+        let contrib = if wshow & 1 == 1 {
+            log1mexp(s.min(0.0))
+        } else {
+            s
+        };
+        total += f64::from(wshow >> 1) * contrib;
+        lo = hi;
+    }
+    total
+}
+
+/// Accumulate the gradient contribution of paths in `range` into `grad`.
+fn grad_range(data: &PathData, log_q: &[f64], range: Range<usize>, grad: &mut [f64]) {
+    let (arena, meta) = data.path_csr();
+    let mut lo = meta[range.start].offset as usize;
+    for j in range {
+        let hi = meta[j + 1].offset as usize;
+        let wshow = meta[j].wshow;
+        let nodes = &arena[lo..hi];
+        lo = hi;
+        let w = f64::from(wshow >> 1);
+        let s: f64 = nodes.iter().map(|&i| log_q[i as usize]).sum();
+        if wshow & 1 == 1 {
+            let s = s.min(0.0);
+            let log_denom = log1mexp(s); // log(1 − Q)
+            for &i in nodes {
+                grad[i as usize] += w * (s - log_q[i as usize] - log_denom).exp();
+            }
+        } else {
+            for &i in nodes {
+                // −1/q_i = −exp(−log q_i)
+                grad[i as usize] -= w * (-log_q[i as usize]).exp();
             }
         }
     }
@@ -88,6 +222,9 @@ impl<'a> LogLikelihood<'a> {
 
 /// Incremental evaluator: caches per-path `S_J` and the total, and updates
 /// both in `O(paths through i)` when one coordinate moves.
+///
+/// Invariant: every cached `path_sum[j]` is `≤ 0` — maintained by clamping
+/// in [`Self::commit`] (see the module docs on drift).
 #[derive(Clone, Debug)]
 pub struct IncrementalLikelihood<'a> {
     data: &'a PathData,
@@ -118,22 +255,29 @@ impl<'a> IncrementalLikelihood<'a> {
     pub fn rebuild(&mut self, p: &[f64]) {
         assert_eq!(p.len(), self.data.num_nodes());
         self.log_q = p.iter().map(|&pi| (1.0 - clamp_p(pi)).ln()).collect();
-        self.path_sum = self
-            .data
-            .paths()
-            .iter()
-            .map(|path| path.nodes.iter().map(|&i| self.log_q[i]).sum())
-            .collect();
-        self.total = self
-            .data
-            .paths()
-            .iter()
-            .zip(&self.path_sum)
-            .map(|(path, &s)| {
-                let c = if path.shows_property { log1mexp(s) } else { s };
-                f64::from(path.weight) * c
-            })
-            .sum();
+        let n_paths = self.data.num_paths();
+        self.path_sum.clear();
+        self.path_sum.reserve(n_paths);
+        let (arena, meta) = self.data.path_csr();
+        let mut total = 0.0;
+        let mut lo = 0usize;
+        for j in 0..n_paths {
+            let hi = meta[j + 1].offset as usize;
+            let wshow = meta[j].wshow;
+            let s: f64 = arena[lo..hi].iter().map(|&i| self.log_q[i as usize]).sum();
+            lo = hi;
+            // Fresh sums of non-positive terms cannot exceed zero, but the
+            // invariant is cheap to enforce uniformly.
+            let s = s.min(0.0);
+            self.path_sum.push(s);
+            let c = if wshow & 1 == 1 {
+                log1mexp(s.min(0.0))
+            } else {
+                s
+            };
+            total += f64::from(wshow >> 1) * c;
+        }
+        self.total = total;
     }
 
     /// Current total log-likelihood.
@@ -145,18 +289,19 @@ impl<'a> IncrementalLikelihood<'a> {
     pub fn delta(&self, i: usize, new_p: f64) -> f64 {
         let new_log_q = (1.0 - clamp_p(new_p)).ln();
         let d_log_q = new_log_q - self.log_q[i];
+        let (_, meta) = self.data.path_csr();
         let mut delta = 0.0;
         for &j in self.data.paths_of(i) {
-            let path = &self.data.paths()[j];
-            let w = f64::from(path.weight);
+            let j = j as usize;
+            let wshow = meta[j].wshow;
             let s_old = self.path_sum[j];
             let s_new = s_old + d_log_q;
-            let (c_old, c_new) = if path.shows_property {
+            let (c_old, c_new) = if wshow & 1 == 1 {
                 (log1mexp(s_old.min(0.0)), log1mexp(s_new.min(0.0)))
             } else {
                 (s_old, s_new)
             };
-            delta += w * (c_new - c_old);
+            delta += f64::from(wshow >> 1) * (c_new - c_old);
         }
         delta
     }
@@ -168,11 +313,14 @@ impl<'a> IncrementalLikelihood<'a> {
         self.log_q[i] = new_log_q;
         let data = self.data; // copy of the shared reference, frees `self`
         for &j in data.paths_of(i) {
-            self.path_sum[j] += d_log_q;
+            let j = j as usize;
+            // Clamp the stored sum: repeated += can round a near-zero sum
+            // to a small positive value, which would later reach log1mexp.
+            self.path_sum[j] = (self.path_sum[j] + d_log_q).min(0.0);
         }
         self.total += delta;
         self.commits += 1;
-        if self.commits % self.rebuild_every == 0 {
+        if self.commits.is_multiple_of(self.rebuild_every) {
             // Periodic exact rebuild caps accumulated float drift.
             let p: Vec<f64> = self.log_q.iter().map(|&lq| 1.0 - lq.exp()).collect();
             self.rebuild(&p);
@@ -270,6 +418,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_eval_matches_serial() {
+        // Build a dataset big enough for several chunks and compare a
+        // forced-parallel evaluation against a forced-serial one.
+        let mut obs = Vec::new();
+        let mut x = 42u64;
+        for k in 0..3000u32 {
+            let mut nodes = Vec::new();
+            for _ in 0..3 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                nodes.push(NodeId((x >> 33) as u32 % 100));
+            }
+            obs.push(PathObservation::new(nodes, k % 3 == 0));
+        }
+        let d = PathData::from_observations(&obs, &[]);
+        let p: Vec<f64> = (0..d.num_nodes())
+            .map(|i| (i as f64 * 0.37).fract().clamp(0.01, 0.99))
+            .collect();
+
+        let serial = LogLikelihood::new(&d).with_parallel_threshold(usize::MAX);
+        let parallel = LogLikelihood::new(&d).with_parallel_threshold(0);
+        let (es, ep) = (serial.eval(&p), parallel.eval(&p));
+        assert!(
+            (es - ep).abs() < 1e-9 * es.abs().max(1.0),
+            "serial {es} vs parallel {ep}"
+        );
+
+        let mut gs = vec![0.0; d.num_nodes()];
+        let mut gp = vec![0.0; d.num_nodes()];
+        serial.grad(&p, &mut gs);
+        parallel.grad(&p, &mut gp);
+        for (i, (a, b)) in gs.iter().zip(&gp).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * a.abs().max(1.0),
+                "grad[{i}]: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
     fn incremental_matches_full_on_random_walk() {
         let d = data(&[
             (&[1, 2, 3], true),
@@ -286,7 +475,9 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x = 123456789u64;
         for step in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % d.num_nodes();
             let new_p = ((x >> 11) as f64 / (1u64 << 53) as f64).clamp(0.01, 0.99);
             let delta = inc.delta(i, new_p);
@@ -325,5 +516,106 @@ mod tests {
         let p = [0.4, 0.6];
         let inc = IncrementalLikelihood::new(&d, &p);
         assert!(inc.delta(0, 0.4).abs() < 1e-12);
+    }
+
+    /// Regression for the drift bug: long commit sequences used to let
+    /// `path_sum[j]` creep above zero via accumulated `+=` rounding, at
+    /// which point the next `delta` (or a rebuild-time `log1mexp`) hit a
+    /// positive argument — a `debug_assert` in debug builds, NaN in
+    /// release. The commit-time clamp must hold the invariant through an
+    /// adversarial schedule of boundary-hugging moves with the periodic
+    /// rebuild disabled.
+    #[test]
+    fn commit_drift_never_breaks_log1mexp_invariant() {
+        let d = data(&[
+            (&[1, 2], true),
+            (&[1, 3], true),
+            (&[2, 3], false),
+            (&[1, 2, 3], true),
+        ]);
+        let ll = LogLikelihood::new(&d);
+        let p0 = vec![0.5; d.num_nodes()];
+        let mut inc = IncrementalLikelihood::new(&d, &p0);
+        inc.rebuild_every = u64::MAX; // no periodic safety net
+
+        // Alternate every coordinate between the clamp boundaries — each
+        // swing moves log_q by ~20.7, the worst case for cancellation in
+        // the cached sums — with occasional mid-range values mixed in.
+        let mut x = 987654321u64;
+        let mut p = p0.clone();
+        for step in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % d.num_nodes();
+            let new_p = match step % 4 {
+                0 => P_EPS,       // q → 1 − eps, log_q ≈ −1e-9
+                1 => 1.0 - P_EPS, // q → eps, log_q ≈ −20.7
+                2 => 1.0 - 1e-7,
+                _ => 0.5,
+            };
+            let delta = inc.delta(i, new_p);
+            assert!(delta.is_finite(), "step {step}: non-finite delta");
+            inc.commit(i, new_p, delta);
+            p[i] = clamp_p(new_p);
+            // The invariant every log1mexp call depends on:
+            assert!(
+                inc.path_sum.iter().all(|&s| s <= 0.0),
+                "step {step}: cached path sum went positive"
+            );
+        }
+        assert!(inc.total().is_finite());
+        // After the walk the cache must still agree with a fresh full
+        // evaluation to within accumulated-rounding tolerance.
+        let full = ll.eval(&p);
+        assert!(
+            (inc.total() - full).abs() < 1e-5 * full.abs().max(1.0),
+            "cache {} vs full {}",
+            inc.total(),
+            full
+        );
+    }
+
+    /// The concrete drift failure: commit-time `+=` rounding eventually
+    /// pushes a near-zero cached sum positive (reaching that organically
+    /// takes ~1e11 boundary-hugging commits — the injected `path_sum`
+    /// below is that end state, not an arbitrary corruption). Pre-fix, the
+    /// positive sum then survived **every** subsequent commit (`+=` keeps
+    /// whatever sign drift produced) and poisoned later `log1mexp` calls;
+    /// post-fix the very next commit clamps it back into the invariant.
+    #[test]
+    fn commit_restores_invariant_from_drifted_state() {
+        let d = data(&[(&[1, 2], true)]);
+        let mut inc = IncrementalLikelihood::new(&d, &[1e-9, 1e-9]);
+        inc.rebuild_every = u64::MAX;
+        inc.path_sum[0] = 5e-14; // accumulated-rounding end state
+
+        // `delta` on the drifted cache must not produce NaN thanks to its
+        // call-site clamps (`−inf`/`+inf` is the honest answer for a sum
+        // clamped to zero — P(show) = 0 — and unlike NaN it cannot
+        // silently poison an accept/reject comparison; pre-fix this path
+        // hit the `log1mexp` debug_assert instead).
+        let delta = inc.delta(0, 0.5);
+        assert!(!delta.is_nan(), "delta from drifted cache: {delta}");
+
+        // A tiny same-coordinate nudge (d_log_q ≈ −5e-8, far smaller than
+        // needed to rescue a positive sum pre-fix, where path_sum would
+        // stay at ~5e-14 − 5e-8 + later +5e-8 round trips): after ANY
+        // commit the invariant must hold again.
+        let dl = inc.delta(0, 1e-9 + 5e-8);
+        inc.commit(0, 1e-9 + 5e-8, dl);
+        let dl = inc.delta(0, 1e-9);
+        inc.commit(0, 1e-9, dl);
+        assert!(
+            inc.path_sum.iter().all(|&s| s <= 0.0),
+            "commit failed to restore the ≤0 invariant: {:?}",
+            inc.path_sum
+        );
+        // The running total was corrupted by the ±inf deltas the drifted
+        // state produced (inf − inf = NaN); the periodic rebuild is the
+        // designed recovery for the total, and must come back finite.
+        inc.rebuild(&[1e-9, 1e-9]);
+        assert!(inc.total().is_finite(), "rebuild total: {}", inc.total());
+        assert!(inc.path_sum.iter().all(|&s| s <= 0.0));
     }
 }

@@ -119,7 +119,7 @@ impl Sampler for MetropolisHastings<'_> {
             return;
         }
         // Adjust every 20 sweeps on the windowed per-coordinate rates.
-        if (iter + 1) % 20 == 0 {
+        if (iter + 1).is_multiple_of(20) {
             for i in 0..self.p.len() {
                 if self.window_proposed[i] == 0 {
                     continue;
@@ -145,6 +145,10 @@ impl Sampler for MetropolisHastings<'_> {
         } else {
             self.accepted as f64 / self.proposed as f64
         }
+    }
+
+    fn proposals(&self) -> u64 {
+        self.proposed
     }
 
     fn kind(&self) -> SamplerKind {
@@ -190,7 +194,15 @@ mod tests {
         let d = data(&[(&[1], true), (&[2], false)], 30);
         let mut rng = SimRng::new(3);
         let s = MetropolisHastings::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 300, samples: 500, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 300,
+                samples: 500,
+                thin: 1,
+            },
+            &mut rng,
+        );
         let i1 = d.index(NodeId(1)).unwrap();
         let i2 = d.index(NodeId(2)).unwrap();
         assert!(chain.mean(i1) > 0.9, "damper mean {}", chain.mean(i1));
@@ -205,7 +217,15 @@ mod tests {
         let d = data(&[(&[1, 2], true)], 20);
         let mut rng = SimRng::new(4);
         let s = MetropolisHastings::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 300, samples: 800, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 300,
+                samples: 800,
+                thin: 1,
+            },
+            &mut rng,
+        );
         for id in [1, 2] {
             let m = chain.mean(d.index(NodeId(id)).unwrap());
             assert!(m > 0.3 && m < 0.95, "node {id} mean {m}");
@@ -217,10 +237,21 @@ mod tests {
         // Node 1 alone on many showing paths; node 9 *only* appears
         // together with node 1 (Fig. 9(d) situation: no information).
         let d = data(&[(&[1], true), (&[1, 9], true)], 25);
-        let prior = Prior::Beta { alpha: 1.0, beta: 4.0 };
+        let prior = Prior::Beta {
+            alpha: 1.0,
+            beta: 4.0,
+        };
         let mut rng = SimRng::new(5);
         let s = MetropolisHastings::from_prior(&d, prior, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 400, samples: 1000, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 400,
+                samples: 1000,
+                thin: 1,
+            },
+            &mut rng,
+        );
         let i9 = d.index(NodeId(9)).unwrap();
         let m = chain.mean(i9);
         // Should hover near the prior mean 0.2, far from certainty.
@@ -232,7 +263,15 @@ mod tests {
         let d = data(&[(&[1, 2], true), (&[2, 3], false), (&[3, 1], false)], 10);
         let mut rng = SimRng::new(6);
         let s = MetropolisHastings::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 600, samples: 400, thin: 1 }, &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 600,
+                samples: 400,
+                thin: 1,
+            },
+            &mut rng,
+        );
         assert!(
             chain.accept_rate > 0.2 && chain.accept_rate < 0.8,
             "accept={}",
@@ -246,7 +285,17 @@ mod tests {
         let run = |seed| {
             let mut rng = SimRng::new(seed);
             let s = MetropolisHastings::from_prior(&d, Prior::default(), &mut rng);
-            run_chain(s, &ChainConfig { warmup: 50, samples: 50, thin: 1 }, &mut rng).samples
+            run_chain(
+                s,
+                &ChainConfig {
+                    warmup: 50,
+                    samples: 50,
+                    thin: 1,
+                },
+                &mut rng,
+            )
+            .flat()
+            .to_vec()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -257,9 +306,17 @@ mod tests {
         let d = data(&[(&[1], true), (&[2], false)], 3);
         let mut rng = SimRng::new(8);
         let s = MetropolisHastings::from_prior(&d, Prior::Uniform, &mut rng);
-        let chain = run_chain(s, &ChainConfig { warmup: 100, samples: 200, thin: 1 }, &mut rng);
-        for s in &chain.samples {
-            for &v in s {
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 100,
+                samples: 200,
+                thin: 1,
+            },
+            &mut rng,
+        );
+        for row in chain.rows() {
+            for &v in row {
                 assert!((0.0..=1.0).contains(&v));
             }
         }

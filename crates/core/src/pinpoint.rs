@@ -47,34 +47,38 @@ pub fn pinpoint_inconsistent(
     assert_eq!(categories.len(), data.num_nodes());
     let mut result = PinpointResult::default();
 
-    // Gather all samples (by reference).
-    let samples: Vec<&Vec<f64>> = chains.iter().flat_map(|c| c.samples.iter()).collect();
+    // Gather all draws as row slices into the flat chain buffers.
+    let samples: Vec<&[f64]> = chains.iter().flat_map(|c| c.rows()).collect();
     if samples.is_empty() {
         return result;
     }
 
-    for (j, path) in data.paths().iter().enumerate() {
+    for (j, path) in data.paths().enumerate() {
         if !path.shows_property {
             continue;
         }
         // Explained if any AS on the path is already category 4/5.
-        if path.nodes.iter().any(|&i| categories[i].is_property()) {
+        if path
+            .nodes
+            .iter()
+            .any(|&i| categories[i as usize].is_property())
+        {
             continue;
         }
         if path.nodes.len() == 1 {
             // Single-AS path: the culprit is trivially that AS.
-            let i = path.nodes[0];
+            let i = path.nodes[0] as usize;
             result.flagged.entry(data.id(i)).or_insert(1.0);
             continue;
         }
         // Count arg-max-p frequencies across the joint samples.
-        let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
         for s in &samples {
             let culprit = path
                 .nodes
                 .iter()
                 .copied()
-                .max_by(|&a, &b| s[a].partial_cmp(&s[b]).expect("finite"))
+                .max_by(|&a, &b| s[a as usize].partial_cmp(&s[b as usize]).expect("finite"))
                 .expect("non-empty path");
             *counts.entry(culprit).or_insert(0) += 1;
         }
@@ -84,7 +88,7 @@ pub fn pinpoint_inconsistent(
             .expect("at least one culprit");
         let prob = count as f64 / samples.len() as f64;
         if prob > PINPOINT_THRESHOLD {
-            let entry = result.flagged.entry(data.id(best)).or_insert(prob);
+            let entry = result.flagged.entry(data.id(best as usize)).or_insert(prob);
             if prob > *entry {
                 *entry = prob;
             }
@@ -97,11 +101,7 @@ pub fn pinpoint_inconsistent(
 
 /// Apply the pass to a category vector: flagged nodes are raised to C4
 /// (never lowered).
-pub fn apply_pinpoint(
-    data: &PathData,
-    categories: &mut [Category],
-    result: &PinpointResult,
-) {
+pub fn apply_pinpoint(data: &PathData, categories: &mut [Category], result: &PinpointResult) {
     for id in result.flagged.keys() {
         if let Some(i) = data.index(*id) {
             categories[i] = categories[i].max(Category::C4);
@@ -127,7 +127,7 @@ mod tests {
 
     /// A synthetic chain whose samples are given explicitly.
     fn chain(samples: Vec<Vec<f64>>) -> Chain {
-        Chain { kind: SamplerKind::Hmc, samples, accept_rate: 1.0 }
+        Chain::from_rows(SamplerKind::Hmc, samples, 1.0)
     }
 
     #[test]
@@ -174,7 +174,11 @@ mod tests {
         let d = data(&[(&[1, 2], true)]);
         let mut samples = Vec::new();
         for k in 0..100 {
-            samples.push(if k % 2 == 0 { vec![0.6, 0.2] } else { vec![0.2, 0.6] });
+            samples.push(if k % 2 == 0 {
+                vec![0.6, 0.2]
+            } else {
+                vec![0.2, 0.6]
+            });
         }
         let cats = vec![Category::C3; 2];
         let c = chain(samples);

@@ -29,7 +29,10 @@ pub enum Prior {
 impl Default for Prior {
     fn default() -> Self {
         // "Most ASs do not damp": mean 0.2, decreasing density.
-        Prior::Beta { alpha: 1.0, beta: 4.0 }
+        Prior::Beta {
+            alpha: 1.0,
+            beta: 4.0,
+        }
     }
 }
 
@@ -92,7 +95,10 @@ mod tests {
     #[test]
     fn beta_density_integrates_to_one() {
         // Trapezoid integration of exp(log_density) over (0,1).
-        let b = Prior::Beta { alpha: 2.0, beta: 5.0 };
+        let b = Prior::Beta {
+            alpha: 2.0,
+            beta: 5.0,
+        };
         let n = 20_000;
         let mut sum = 0.0;
         for k in 1..n {
@@ -105,7 +111,10 @@ mod tests {
 
     #[test]
     fn beta_gradient_matches_finite_difference() {
-        let b = Prior::Beta { alpha: 2.0, beta: 5.0 };
+        let b = Prior::Beta {
+            alpha: 2.0,
+            beta: 5.0,
+        };
         let h = 1e-7;
         for &p in &[0.1, 0.3, 0.7, 0.9] {
             let fd = (b.log_density(p + h) - b.log_density(p - h)) / (2.0 * h);
@@ -115,7 +124,10 @@ mod tests {
 
     #[test]
     fn beta_mean() {
-        let b = Prior::Beta { alpha: 1.0, beta: 4.0 };
+        let b = Prior::Beta {
+            alpha: 1.0,
+            beta: 4.0,
+        };
         assert!((b.mean() - 0.2).abs() < 1e-12);
     }
 
@@ -130,7 +142,14 @@ mod tests {
 
     #[test]
     fn density_finite_at_boundaries() {
-        for prior in [Prior::Uniform, Prior::default(), Prior::Beta { alpha: 2.0, beta: 2.0 }] {
+        for prior in [
+            Prior::Uniform,
+            Prior::default(),
+            Prior::Beta {
+                alpha: 2.0,
+                beta: 2.0,
+            },
+        ] {
             assert!(prior.log_density(0.0).is_finite());
             assert!(prior.log_density(1.0).is_finite());
             assert!(prior.grad(0.0).is_finite());

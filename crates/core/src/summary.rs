@@ -44,7 +44,12 @@ impl Marginal {
                 best = (lo, hi);
             }
         }
-        Marginal { mean, hpdi_low: best.0, hpdi_high: best.1, level }
+        Marginal {
+            mean,
+            hpdi_low: best.0,
+            hpdi_high: best.1,
+            level,
+        }
     }
 
     /// HPDI width.
@@ -81,7 +86,7 @@ mod tests {
             .filter(|&&x| x >= m.hpdi_low && x <= m.hpdi_high)
             .count() as f64
             / samples.len() as f64;
-        assert!(inside >= 0.95 && inside < 0.97, "coverage {inside}");
+        assert!((0.95..0.97).contains(&inside), "coverage {inside}");
     }
 
     #[test]

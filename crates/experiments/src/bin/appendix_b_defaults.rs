@@ -11,17 +11,34 @@ mod common;
 
 fn main() {
     common::banner("Appendix B: RFD default parameters");
-    let profiles = [VendorProfile::Cisco, VendorProfile::Juniper, VendorProfile::Rfc7454];
+    let profiles = [
+        VendorProfile::Cisco,
+        VendorProfile::Juniper,
+        VendorProfile::Rfc7454,
+    ];
 
     let mut rows = Vec::new();
-    let fields: [(&str, fn(&bgpsim::RfdParams) -> String); 7] = [
-        ("Withdrawal penalty", |p| format!("{:.0}", p.withdrawal_penalty)),
-        ("Readvertisement penalty", |p| format!("{:.0}", p.readvertisement_penalty)),
-        ("Attributes change penalty", |p| format!("{:.0}", p.attribute_change_penalty)),
-        ("Suppress-threshold", |p| format!("{:.0}", p.suppress_threshold)),
-        ("Half-life (min)", |p| format!("{:.0}", p.half_life.as_mins_f64())),
+    type Field = (&'static str, fn(&bgpsim::RfdParams) -> String);
+    let fields: [Field; 7] = [
+        ("Withdrawal penalty", |p| {
+            format!("{:.0}", p.withdrawal_penalty)
+        }),
+        ("Readvertisement penalty", |p| {
+            format!("{:.0}", p.readvertisement_penalty)
+        }),
+        ("Attributes change penalty", |p| {
+            format!("{:.0}", p.attribute_change_penalty)
+        }),
+        ("Suppress-threshold", |p| {
+            format!("{:.0}", p.suppress_threshold)
+        }),
+        ("Half-life (min)", |p| {
+            format!("{:.0}", p.half_life.as_mins_f64())
+        }),
         ("Reuse-threshold", |p| format!("{:.0}", p.reuse_threshold)),
-        ("Max suppress time (min)", |p| format!("{:.0}", p.max_suppress_time.as_mins_f64())),
+        ("Max suppress time (min)", |p| {
+            format!("{:.0}", p.max_suppress_time.as_mins_f64())
+        }),
     ];
     for (name, get) in fields {
         let mut row = vec![name.to_string()];
@@ -57,7 +74,10 @@ fn main() {
     }
     println!(
         "{}",
-        report::table(&["profile", "penalty ceiling", "slowest damped flap interval"], &rows)
+        report::table(
+            &["profile", "penalty ceiling", "slowest damped flap interval"],
+            &rows
+        )
     );
     println!("(paper: Cisco ≈ 8 min, Juniper ≈ 9 min, recommended ≈ 2 min)");
 }

@@ -9,15 +9,18 @@
 //!   topology size and campaign length. `paper` approaches the real
 //!   study's scale and takes correspondingly longer.
 
-use because::{AnalysisConfig, Prior};
 use because::chain::ChainConfig;
+use because::{AnalysisConfig, Prior};
 use experiments::pipeline::ExperimentConfig;
 use netsim::SimDuration;
 use topology::TopologyConfig;
 
 /// Read the seed from `REPRO_SEED`.
 pub fn seed() -> u64 {
-    std::env::var("REPRO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2020)
+    std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2020)
 }
 
 /// The scale name from `REPRO_SCALE`.
@@ -71,11 +74,29 @@ pub fn experiment(interval_mins: u64, seed: u64) -> ExperimentConfig {
 /// Analysis settings matched to the scale.
 pub fn analysis_config(seed: u64) -> AnalysisConfig {
     let chain = match scale().as_str() {
-        "tiny" => ChainConfig { warmup: 200, samples: 400, thin: 1 },
-        "paper" => ChainConfig { warmup: 800, samples: 1500, thin: 1 },
-        _ => ChainConfig { warmup: 400, samples: 800, thin: 1 },
+        "tiny" => ChainConfig {
+            warmup: 200,
+            samples: 400,
+            thin: 1,
+        },
+        "paper" => ChainConfig {
+            warmup: 800,
+            samples: 1500,
+            thin: 1,
+        },
+        _ => ChainConfig {
+            warmup: 400,
+            samples: 800,
+            thin: 1,
+        },
     };
-    AnalysisConfig { prior: Prior::default(), chain, n_chains: 2, seed, ..Default::default() }
+    AnalysisConfig {
+        prior: Prior::default(),
+        chain,
+        n_chains: 2,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// Print the standard experiment banner.

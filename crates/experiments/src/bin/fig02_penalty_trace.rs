@@ -28,10 +28,14 @@ fn main() {
     while t < flap_until {
         events.push((
             t,
-            if withdraw { FlapKind::Withdrawal } else { FlapKind::Readvertisement },
+            if withdraw {
+                FlapKind::Withdrawal
+            } else {
+                FlapKind::Readvertisement
+            },
         ));
         withdraw = !withdraw;
-        t = t + interval;
+        t += interval;
     }
 
     println!("time_min  penalty  suppressed  event");
@@ -62,7 +66,7 @@ fn main() {
             state.penalty_at(clock, &params),
             if state.is_suppressed() { "yes" } else { "no" }
         );
-        clock = clock + SimDuration::from_mins(2);
+        clock += SimDuration::from_mins(2);
     }
 
     println!();

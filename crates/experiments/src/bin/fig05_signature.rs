@@ -18,11 +18,21 @@ fn main() {
     common::banner("Figure 5: Beacon pattern and RFD signature");
 
     // Topology: beacon AS 65000 → AS 10 → {AS 21 (damps), AS 22 (clean)} → VPs 31/32.
-    let mut net = Network::new(NetworkConfig { jitter: 0.2, seed: common::seed(), ..Default::default() });
+    let mut net = Network::new(NetworkConfig {
+        jitter: 0.2,
+        seed: common::seed(),
+        ..Default::default()
+    });
     let cust = SessionPolicy::plain(Relationship::Customer);
     let prov = SessionPolicy::plain(Relationship::Provider);
     net.connect(AsId(65000), AsId(10), prov, cust, None);
-    net.connect(AsId(10), AsId(21), prov, cust.with_rfd(VendorProfile::Cisco.params()), None);
+    net.connect(
+        AsId(10),
+        AsId(21),
+        prov,
+        cust.with_rfd(VendorProfile::Cisco.params()),
+        None,
+    );
     net.connect(AsId(10), AsId(22), prov, cust, None);
     net.connect(AsId(21), AsId(31), prov, cust, None);
     net.connect(AsId(22), AsId(32), prov, cust, None);
@@ -45,18 +55,32 @@ fn main() {
     let dump = set.process(&taps, &collector::CollectorConfig::clean(), schedule.end());
 
     let burst_end = schedule.burst_end(0);
-    println!("burst: {} .. {} (update interval 1 min)", schedule.burst_start(0), burst_end);
+    println!(
+        "burst: {} .. {} (update interval 1 min)",
+        schedule.burst_start(0),
+        burst_end
+    );
     println!();
-    for (vp, name) in [(AsId(31), "RFD path (via damping AS 21)"), (AsId(32), "non-RFD path (via AS 22)")] {
+    for (vp, name) in [
+        (AsId(31), "RFD path (via damping AS 21)"),
+        (AsId(32), "non-RFD path (via AS 22)"),
+    ] {
         println!("--- {name} ---");
         let records: Vec<_> = dump.records().iter().filter(|r| r.vantage == vp).collect();
-        let during_burst = records.iter().filter(|r| r.exported_at <= burst_end).count();
+        let during_burst = records
+            .iter()
+            .filter(|r| r.exported_at <= burst_end)
+            .count();
         println!("updates seen during burst: {during_burst}");
         for r in records.iter().rev().take(3).rev() {
             println!(
                 "  {}  {}",
                 r.exported_at,
-                if r.is_announcement() { "announce" } else { "withdraw" }
+                if r.is_announcement() {
+                    "announce"
+                } else {
+                    "withdraw"
+                }
             );
         }
         println!();
@@ -66,7 +90,8 @@ fn main() {
     println!("path labels:");
     for l in &labels {
         let fmt = |v: Option<f64>| {
-            v.map(|m| format!("{m:.1} min")).unwrap_or_else(|| "-".to_string())
+            v.map(|m| format!("{m:.1} min"))
+                .unwrap_or_else(|| "-".to_string())
         };
         println!(
             "  {}  rfd={}  pairs {}/{}  r-delta {} (from last update, §4.2), {} (from burst end, Fig. 13)",

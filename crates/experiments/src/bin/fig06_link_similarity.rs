@@ -31,14 +31,23 @@ fn main() {
     let rows: Vec<Vec<String>> = sim
         .iter()
         .map(|(site, share)| {
-            vec![site.to_string(), report::pct(*share), report::bar(*share, 1.0, 30)]
+            vec![
+                site.to_string(),
+                report::pct(*share),
+                report::bar(*share, 1.0, 30),
+            ]
         })
         .collect();
-    println!("{}", report::table(&["site", "share of all links", ""], &rows));
+    println!(
+        "{}",
+        report::table(&["site", "share of all links", ""], &rows)
+    );
 
     // Median paths per link: single site vs all sites.
-    let all_prefixes: Vec<Prefix> =
-        site_prefixes.values().flat_map(|v| v.iter().copied()).collect();
+    let all_prefixes: Vec<Prefix> = site_prefixes
+        .values()
+        .flat_map(|v| v.iter().copied())
+        .collect();
     let median = |prefixes: &[Prefix]| -> usize {
         let counts = link_path_counts(&out.dump, prefixes);
         let mut v: Vec<usize> = counts.values().copied().collect();
@@ -48,9 +57,16 @@ fn main() {
         v.sort_unstable();
         v[v.len() / 2]
     };
-    let single_site = site_prefixes.values().next().map(|p| median(p)).unwrap_or(0);
+    let single_site = site_prefixes
+        .values()
+        .next()
+        .map(|p| median(p))
+        .unwrap_or(0);
     println!("median paths per link, single site: {single_site}");
-    println!("median paths per link, all sites:   {}", median(&all_prefixes));
+    println!(
+        "median paths per link, all sites:   {}",
+        median(&all_prefixes)
+    );
     println!();
     println!(
         "total links observed: {}",

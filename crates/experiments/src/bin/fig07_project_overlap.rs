@@ -31,7 +31,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::table(&["project", "observations", "unique paths", "exclusive share"], &rows)
+        report::table(
+            &["project", "observations", "unique paths", "exclusive share"],
+            &rows
+        )
     );
     println!("(an exclusive share > 0 for every project = each adds data)");
 }

@@ -18,10 +18,8 @@ fn main() {
     common::banner("Figure 8: propagation time CDFs");
     let out = run_campaign(&common::experiment(1, common::seed()));
 
-    let anchors: Vec<bgpsim::Prefix> =
-        out.campaign.sites.iter().map(|s| s.anchor.prefix).collect();
-    let beacons: Vec<bgpsim::Prefix> =
-        out.campaign.beacon_schedules().map(|b| b.prefix).collect();
+    let anchors: Vec<bgpsim::Prefix> = out.campaign.sites.iter().map(|s| s.anchor.prefix).collect();
+    let beacons: Vec<bgpsim::Prefix> = out.campaign.beacon_schedules().map(|b| b.prefix).collect();
 
     let quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
     let describe = |name: &str, cdf: &netsim::stats::Ecdf| {
@@ -50,7 +48,12 @@ fn main() {
         let rows = report::cdf_rows(&cdf.points(), &[0.25, 0.5, 0.75, 0.9, 1.0]);
         println!("anchor arrival CDF sketch:");
         for (x, f) in rows {
-            println!("  {:>6.1}s  {:>5.1}%  {}", x, 100.0 * f, report::bar(f, 1.0, 40));
+            println!(
+                "  {:>6.1}s  {:>5.1}%  {}",
+                x,
+                100.0 * f,
+                report::bar(f, 1.0, 40)
+            );
         }
     }
 }

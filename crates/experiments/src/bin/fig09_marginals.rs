@@ -36,7 +36,11 @@ fn print_marginal(title: &str, draws: &[f64]) {
     let max = *bins.iter().max().unwrap_or(&1) as f64;
     for (i, &count) in bins.iter().enumerate() {
         let lo = i as f64 / 20.0;
-        println!("  [{lo:.2}..{:.2})  {}", lo + 0.05, report::bar(count as f64, max, 40));
+        println!(
+            "  [{lo:.2}..{:.2})  {}",
+            lo + 0.05,
+            report::bar(count as f64, max, 40)
+        );
     }
     let mean = draws.iter().sum::<f64>() / draws.len().max(1) as f64;
     println!("  mean = {mean:.3}\n");

@@ -28,7 +28,9 @@ fn main() {
         .iter()
         .filter(|l| !l.rfd)
         .flat_map(|l| l.path.asns().iter().copied())
-        .find(|a| !out.deployment.damping.contains_key(a) && !out.topology.beacon_sites.contains(a));
+        .find(|a| {
+            !out.deployment.damping.contains_key(a) && !out.topology.beacon_sites.contains(a)
+        });
 
     let bins = 40;
     for (title, asn) in [("RFD AS", damper), ("non-RFD AS", clean)] {
@@ -38,17 +40,24 @@ fn main() {
         };
         let mut hist = Histogram::new(0.0, 1.0, bins);
         for r in out.dump.valid_announcements() {
-            let Some(sent) = r.beacon_time() else { continue };
+            let Some(sent) = r.beacon_time() else {
+                continue;
+            };
             let Some(burst) = (0..schedule.cycles)
                 .find(|&i| sent >= schedule.burst_start(i) && sent < schedule.burst_end(i))
             else {
                 continue;
             };
-            let Some(p) = r.path.as_ref().and_then(clean_path) else { continue };
+            let Some(p) = r.path.as_ref().and_then(clean_path) else {
+                continue;
+            };
             if !p.contains(asn) {
                 continue;
             }
-            let rel = r.exported_at.saturating_since(schedule.burst_start(burst)).as_secs_f64()
+            let rel = r
+                .exported_at
+                .saturating_since(schedule.burst_start(burst))
+                .as_secs_f64()
                 / schedule.burst_duration.as_secs_f64();
             hist.push(rel.min(1.0 - 1e-9));
         }

@@ -46,13 +46,16 @@ fn main() {
     println!("\ncertainty ↑ (rows 1.0 → 0.0), mean → (0.0 … 1.0); digit = dominant category");
     for y in (0..10).rev() {
         let mut row = String::new();
-        for x in 0..10 {
-            let (count, cats) = &grid[y][x];
+        for (count, cats) in &grid[y] {
             if *count == 0 {
                 row.push('·');
             } else {
-                let dominant =
-                    cats.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i + 1).unwrap();
+                let dominant = cats
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i + 1)
+                    .unwrap();
                 row.push_str(&dominant.to_string());
             }
             row.push(' ');
@@ -62,6 +65,8 @@ fn main() {
     println!("         0.05 0.15 0.25 0.35 0.45 0.55 0.65 0.75 0.85 0.95");
 
     let counts = inf.analysis.category_counts();
-    println!("\ncategory counts: C1={} C2={} C3={} C4={} C5={}",
-        counts[0], counts[1], counts[2], counts[3], counts[4]);
+    println!(
+        "\ncategory counts: C1={} C2={} C3={} C4={} C5={}",
+        counts[0], counts[1], counts[2], counts[3], counts[4]
+    );
 }

@@ -56,7 +56,10 @@ fn main() {
             .map(|r| AsId(r.id.0))
             .collect();
         per_interval.push((mins, consistent, with_inconsistent));
-        eprintln!("  interval {mins} min done ({} labeled paths)", out.labels.len());
+        eprintln!(
+            "  interval {mins} min done ({} labeled paths)",
+            out.labels.len()
+        );
     }
 
     let universe = common_universe.unwrap_or_default();

@@ -33,7 +33,10 @@ fn main() {
             .filter(|l| l.rfd)
             .filter_map(|l| l.mean_break_delta_mins())
             .collect();
-        println!("--- {mins}-minute update interval: {} damped paths ---", means.len());
+        println!(
+            "--- {mins}-minute update interval: {} damped paths ---",
+            means.len()
+        );
         if means.is_empty() {
             println!("  (no damped paths)\n");
             continue;
@@ -41,7 +44,12 @@ fn main() {
         let cdf = Ecdf::new(means);
         for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let v = cdf.quantile(q).unwrap();
-            println!("  p{:<4.0} {:>7.1} min  {}", q * 100.0, v, report::bar(q, 1.0, 30));
+            println!(
+                "  p{:<4.0} {:>7.1} min  {}",
+                q * 100.0,
+                v,
+                report::bar(q, 1.0, 30)
+            );
         }
         // Plateau detection: mass within ±2 min of the configured
         // max-suppress values.

@@ -37,11 +37,17 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", report::table(&["category", "total", "share", ""], &rows));
+    println!(
+        "{}",
+        report::table(&["category", "total", "share", ""], &rows)
+    );
 
     let rfd_share = shares[3] + shares[4];
     println!("measured ASs: {}", inf.analysis.reports.len());
-    println!("RFD-enabled (C4+C5): {} (paper: ≥ 9 %)", report::pct(rfd_share));
+    println!(
+        "RFD-enabled (C4+C5): {} (paper: ≥ 9 %)",
+        report::pct(rfd_share)
+    );
     println!(
         "planted deployment share over measured ASs: {}",
         report::pct(

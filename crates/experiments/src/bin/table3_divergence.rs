@@ -58,8 +58,11 @@ fn run_case(
     vantage_points: &[AsId],
     target: AsId,
 ) -> (bool, bool, bool) {
-    let mut net =
-        Network::new(NetworkConfig { jitter: 0.2, seed: common::seed(), ..Default::default() });
+    let mut net = Network::new(NetworkConfig {
+        jitter: 0.2,
+        seed: common::seed(),
+        ..Default::default()
+    });
     build(&mut net);
     for &vp in vantage_points {
         net.attach_tap(vp);
@@ -82,12 +85,12 @@ fn run_case(
         .iter()
         .flat_map(|l| {
             let nodes: Vec<NodeId> = l.path.asns().iter().map(|a| NodeId(a.0)).collect();
-            std::iter::repeat(PathObservation::new(nodes.clone(), true))
-                .take(l.pairs_matching)
-                .chain(
-                    std::iter::repeat(PathObservation::new(nodes, false))
-                        .take(l.pairs_total - l.pairs_matching),
-                )
+            std::iter::repeat_n(PathObservation::new(nodes.clone(), true), l.pairs_matching).chain(
+                std::iter::repeat_n(
+                    PathObservation::new(nodes, false),
+                    l.pairs_total - l.pairs_matching,
+                ),
+            )
         })
         .collect();
     let sites: Vec<NodeId> = schedules.iter().map(|s| NodeId(s.site.0)).collect();
@@ -149,7 +152,7 @@ fn main() {
                 net.connect(AsId(906), AsId(2497), prov, cust, None);
             },
             &[
-                schedule_for(AsId(65000), "10.0.0.0/24"), // under 3356
+                schedule_for(AsId(65000), "10.0.0.0/24"),  // under 3356
                 schedule_for(AsId(65010), "10.0.10.0/24"), // under 1299
                 schedule_for(AsId(65020), "10.0.20.0/24"), // under 6453
                 schedule_for(AsId(65002), "10.0.2.0/24"),
@@ -157,7 +160,14 @@ fn main() {
                 schedule_for(AsId(65002), "10.0.4.0/24"),
                 schedule_for(AsId(65002), "10.0.5.0/24"),
             ],
-            &[AsId(701), AsId(902), AsId(903), AsId(904), AsId(906), AsId(930)],
+            &[
+                AsId(701),
+                AsId(902),
+                AsId(903),
+                AsId(904),
+                AsId(906),
+                AsId(930),
+            ],
             AsId(701),
         );
         rows.push(Verdict {
@@ -237,7 +247,14 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["case", "AS", "ground truth", "BeCAUSe", "heuristics", "divergence reason"],
+            &[
+                "case",
+                "AS",
+                "ground truth",
+                "BeCAUSe",
+                "heuristics",
+                "divergence reason"
+            ],
             &table_rows
         )
     );

@@ -61,7 +61,10 @@ fn main() {
             report::pct(rov_pr.recall()),
         ],
     ];
-    println!("{}", report::table(&["problem", "method", "precision", "recall"], &rows));
+    println!(
+        "{}",
+        report::table(&["problem", "method", "precision", "recall"], &rows)
+    );
 
     println!("RFD detail:  BeCAUSe    {}", because_eval.summary());
     println!("             heuristics {}", heuristics_eval.summary());

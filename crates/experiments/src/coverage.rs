@@ -33,8 +33,10 @@ pub fn link_similarity(
     dump: &Dump,
     site_prefixes: &BTreeMap<AsId, Vec<Prefix>>,
 ) -> BTreeMap<AsId, f64> {
-    let all_prefixes: Vec<Prefix> =
-        site_prefixes.values().flat_map(|v| v.iter().copied()).collect();
+    let all_prefixes: Vec<Prefix> = site_prefixes
+        .values()
+        .flat_map(|v| v.iter().copied())
+        .collect();
     let all_links = observed_links(dump, &all_prefixes);
     let total = all_links.len().max(1) as f64;
     site_prefixes
@@ -79,7 +81,9 @@ pub fn project_observations(dump: &Dump) -> BTreeMap<Project, BTreeSet<(AsId, Pr
     }
     for r in dump.valid_announcements() {
         if let Some(p) = r.path.as_ref().and_then(clean_path) {
-            out.entry(r.project).or_default().insert((r.vantage, r.prefix, p.asns().to_vec()));
+            out.entry(r.project)
+                .or_default()
+                .insert((r.vantage, r.prefix, p.asns().to_vec()));
         }
     }
     out
@@ -93,8 +97,7 @@ pub fn project_exclusive_shares(dump: &Dump) -> BTreeMap<Project, (usize, f64)> 
     let paths_of = |p: Project| -> BTreeSet<Vec<AsId>> {
         obs[&p].iter().map(|(_, _, path)| path.clone()).collect()
     };
-    let all: BTreeSet<Vec<AsId>> =
-        Project::ALL.iter().flat_map(|&p| paths_of(p)).collect();
+    let all: BTreeSet<Vec<AsId>> = Project::ALL.iter().flat_map(|&p| paths_of(p)).collect();
     let total = all.len().max(1) as f64;
     Project::ALL
         .iter()
@@ -135,8 +138,14 @@ fn first_arrival_delays(
                 continue;
             }
         }
-        let Some(sent) = r.beacon_time() else { continue };
-        let at = if use_export_time { r.exported_at } else { r.observed_at };
+        let Some(sent) = r.beacon_time() else {
+            continue;
+        };
+        let at = if use_export_time {
+            r.exported_at
+        } else {
+            r.observed_at
+        };
         let delay = at.saturating_since(sent).as_secs_f64();
         first
             .entry((r.vantage, r.prefix, sent))
@@ -236,7 +245,10 @@ mod tests {
             }
             let a50 = arrival.quantile(0.5).unwrap();
             let e50 = export.quantile(0.5).unwrap();
-            assert!(e50 >= a50, "{project:?}: export median {e50} < arrival {a50}");
+            assert!(
+                e50 >= a50,
+                "{project:?}: export median {e50} < arrival {a50}"
+            );
         }
     }
 

@@ -162,7 +162,14 @@ impl Deployment {
             } else {
                 DampMode::AllNeighbors
             };
-            damping.insert(info.id, AsDeployment { params, mode, profile });
+            damping.insert(
+                info.id,
+                AsDeployment {
+                    params,
+                    mode,
+                    profile,
+                },
+            );
         }
 
         // MRAI per directed session.
@@ -175,7 +182,10 @@ impl Deployment {
             }
         }
 
-        Deployment { damping, mrai_sessions }
+        Deployment {
+            damping,
+            mrai_sessions,
+        }
     }
 
     /// Does `local` damp routes received from `peer`?
@@ -189,9 +199,7 @@ impl Deployment {
     }
 
     /// The session-policy hook to pass to [`Topology::instantiate`].
-    pub fn policy_hook(
-        &self,
-    ) -> impl FnMut(AsId, AsId, SessionPolicy) -> SessionPolicy + '_ {
+    pub fn policy_hook(&self) -> impl FnMut(AsId, AsId, SessionPolicy) -> SessionPolicy + '_ {
         move |local, peer, mut policy| {
             if let Some(params) = self.damps_session(local, peer) {
                 policy = policy.with_rfd(*params);
@@ -235,7 +243,10 @@ impl Deployment {
         for d in self.damping.values() {
             *counts.entry(d.profile.clone()).or_insert(0) += 1;
         }
-        counts.into_iter().map(|(k, v)| (k, v as f64 / total)).collect()
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total))
+            .collect()
     }
 }
 
@@ -251,7 +262,13 @@ mod tests {
     #[test]
     fn share_is_respected_roughly() {
         let t = topo(1);
-        let d = Deployment::assign(&t, &DeploymentConfig { rfd_share: 0.2, ..Default::default() });
+        let d = Deployment::assign(
+            &t,
+            &DeploymentConfig {
+                rfd_share: 0.2,
+                ..Default::default()
+            },
+        );
         let eligible = t.len() - t.beacon_sites.len();
         let share = d.damping.len() as f64 / eligible as f64;
         assert!((share - 0.2).abs() < 0.08, "share={share}");
@@ -262,7 +279,10 @@ mod tests {
         let t = topo(2);
         let d = Deployment::assign(
             &t,
-            &DeploymentConfig { rfd_share: 1.0, ..Default::default() },
+            &DeploymentConfig {
+                rfd_share: 1.0,
+                ..Default::default()
+            },
         );
         let adj = t.adjacency();
         for &site in &t.beacon_sites {
@@ -276,7 +296,11 @@ mod tests {
     #[test]
     fn vendor_mix_close_to_config() {
         let t = topo(3);
-        let cfg = DeploymentConfig { rfd_share: 1.0, vendor_default_share: 0.6, ..Default::default() };
+        let cfg = DeploymentConfig {
+            rfd_share: 1.0,
+            vendor_default_share: 0.6,
+            ..Default::default()
+        };
         let d = Deployment::assign(&t, &cfg);
         let shares = d.profile_shares();
         let vendor = shares.get("cisco").copied().unwrap_or(0.0)
@@ -287,13 +311,20 @@ mod tests {
     #[test]
     fn inconsistent_mode_spares_one_neighbor() {
         let t = topo(4);
-        let cfg = DeploymentConfig { rfd_share: 1.0, inconsistent_share: 1.0, ..Default::default() };
+        let cfg = DeploymentConfig {
+            rfd_share: 1.0,
+            inconsistent_share: 1.0,
+            ..Default::default()
+        };
         let d = Deployment::assign(&t, &cfg);
         assert!(!d.inconsistent().is_empty());
         let adj = t.adjacency();
         for (&asn, dep) in &d.damping {
             if let DampMode::ExceptNeighbor(spared) = dep.mode {
-                assert!(adj[&asn].iter().any(|&(n, _)| n == spared), "spared {spared} not a neighbor");
+                assert!(
+                    adj[&asn].iter().any(|&(n, _)| n == spared),
+                    "spared {spared} not a neighbor"
+                );
                 assert!(d.damps_session(asn, spared).is_none());
                 // Some other neighbor is damped.
                 let other = adj[&asn].iter().find(|&&(n, _)| n != spared);
@@ -307,7 +338,10 @@ mod tests {
     #[test]
     fn triggered_at_separates_profiles() {
         let t = topo(5);
-        let cfg = DeploymentConfig { rfd_share: 0.5, ..Default::default() };
+        let cfg = DeploymentConfig {
+            rfd_share: 0.5,
+            ..Default::default()
+        };
         let d = Deployment::assign(&t, &cfg);
         let at_1 = d.triggered_at(SimDuration::from_mins(1));
         let at_5 = d.triggered_at(SimDuration::from_mins(5));
@@ -321,12 +355,13 @@ mod tests {
     #[test]
     fn policy_hook_installs_rfd_and_mrai() {
         let t = topo(6);
-        let cfg = DeploymentConfig { rfd_share: 0.5, mrai_share: 0.5, ..Default::default() };
+        let cfg = DeploymentConfig {
+            rfd_share: 0.5,
+            mrai_share: 0.5,
+            ..Default::default()
+        };
         let d = Deployment::assign(&t, &cfg);
-        let net = t.instantiate(
-            bgpsim::NetworkConfig::default(),
-            d.policy_hook(),
-        );
+        let net = t.instantiate(bgpsim::NetworkConfig::default(), d.policy_hook());
         let mut rfd_sessions = 0;
         let mut mrai_sessions = 0;
         for asn in net.as_ids() {

@@ -24,12 +24,19 @@ pub struct InferenceOutput {
 impl InferenceOutput {
     /// ASs BeCAUSe flags (category 4/5).
     pub fn because_flagged(&self) -> BTreeSet<AsId> {
-        self.analysis.property_nodes().iter().map(|n| AsId(n.0)).collect()
+        self.analysis
+            .property_nodes()
+            .iter()
+            .map(|n| AsId(n.0))
+            .collect()
     }
 
     /// ASs the heuristics flag.
     pub fn heuristics_flagged(&self) -> BTreeSet<AsId> {
-        self.heuristics.rfd_ases(self.heuristic_threshold).into_iter().collect()
+        self.heuristics
+            .rfd_ases(self.heuristic_threshold)
+            .into_iter()
+            .collect()
     }
 }
 
@@ -37,8 +44,12 @@ impl InferenceOutput {
 /// Burst–Break pair (paths measured over many pairs carry more weight),
 /// beacon-site ASs excluded (known non-damping, §3.2).
 pub fn path_data_from_labels(output: &CampaignOutput) -> PathData {
-    let exclude: Vec<NodeId> =
-        output.topology.beacon_sites.iter().map(|a| NodeId(a.0)).collect();
+    let exclude: Vec<NodeId> = output
+        .topology
+        .beacon_sites
+        .iter()
+        .map(|a| NodeId(a.0))
+        .collect();
     let observations: Vec<PathObservation> = output
         .labels
         .iter()
@@ -50,9 +61,9 @@ pub fn path_data_from_labels(output: &CampaignOutput) -> PathData {
             // observation.
             let shows = l.pairs_matching;
             let clean = l.pairs_total - l.pairs_matching;
-            std::iter::repeat(PathObservation::new(nodes.clone(), true))
-                .take(shows)
-                .chain(std::iter::repeat(PathObservation::new(nodes, false)).take(clean))
+            std::iter::repeat_n(PathObservation::new(nodes.clone(), true), shows).chain(
+                std::iter::repeat_n(PathObservation::new(nodes, false), clean),
+            )
         })
         .collect();
     PathData::from_observations(&observations, &exclude)

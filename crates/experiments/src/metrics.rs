@@ -86,8 +86,7 @@ pub fn observable_truth(
                 && output.labels.iter().any(|l| {
                     l.rfd
                         && l.path.asns().windows(2).any(|w| {
-                            w[0] == **asn
-                                && output.deployment.damps_session(w[0], w[1]).is_some()
+                            w[0] == **asn && output.deployment.damps_session(w[0], w[1]).is_some()
                         })
                         && l.path
                             .asns()
@@ -109,7 +108,11 @@ pub fn evaluate_against_oracle(
     let universe = detectable_universe(output);
     let truth = observable_truth(output, interval, &universe);
     let pr = PrecisionRecall::compute(flagged, &truth, &universe);
-    OracleEvaluation { pr, universe_size: universe.len(), truth_size: truth.len() }
+    OracleEvaluation {
+        pr,
+        universe_size: universe.len(),
+        truth_size: truth.len(),
+    }
 }
 
 #[cfg(test)]

@@ -38,11 +38,17 @@ impl ExperimentConfig {
     pub fn single_interval(interval_mins: u64, seed: u64) -> Self {
         ExperimentConfig {
             topology: TopologyConfig::default_with_seed(seed),
-            deployment: DeploymentConfig { seed, ..Default::default() },
+            deployment: DeploymentConfig {
+                seed,
+                ..Default::default()
+            },
             intervals: vec![SimDuration::from_mins(interval_mins)],
             break_duration: SimDuration::from_hours(2),
             cycles: 4,
-            collector: CollectorConfig { seed, ..Default::default() },
+            collector: CollectorConfig {
+                seed,
+                ..Default::default()
+            },
             labeling: LabelingConfig::default(),
             seed,
         }
@@ -52,11 +58,18 @@ impl ExperimentConfig {
     pub fn small(interval_mins: u64, seed: u64) -> Self {
         ExperimentConfig {
             topology: TopologyConfig::tiny(seed),
-            deployment: DeploymentConfig { rfd_share: 0.25, seed, ..Default::default() },
+            deployment: DeploymentConfig {
+                rfd_share: 0.25,
+                seed,
+                ..Default::default()
+            },
             intervals: vec![SimDuration::from_mins(interval_mins)],
             break_duration: SimDuration::from_hours(2),
             cycles: 3,
-            collector: CollectorConfig { seed, ..CollectorConfig::clean() },
+            collector: CollectorConfig {
+                seed,
+                ..CollectorConfig::clean()
+            },
             labeling: LabelingConfig::default(),
             seed,
         }
@@ -167,7 +180,10 @@ mod tests {
         let truth = out.deployment.ground_truth();
         assert!(!truth.is_empty());
         let rfd_paths: Vec<_> = out.labels.iter().filter(|l| l.rfd).collect();
-        assert!(!rfd_paths.is_empty(), "no RFD paths despite planted dampers");
+        assert!(
+            !rfd_paths.is_empty(),
+            "no RFD paths despite planted dampers"
+        );
 
         // Soundness: every RFD-labeled path crosses a session that the
         // oracle says damps (receiver side, consecutive pair on path).
@@ -177,7 +193,11 @@ mod tests {
                 // w[0] receives from w[1] (path is vantage → origin).
                 out.deployment.damps_session(w[0], w[1]).is_some()
             });
-            assert!(crossed_damper, "RFD path {} crosses no damping session", l.path);
+            assert!(
+                crossed_damper,
+                "RFD path {} crosses no damping session",
+                l.path
+            );
         }
     }
 
@@ -231,7 +251,11 @@ mod tests {
     fn labels_cover_multiple_vantage_points() {
         let out = run_campaign(&ExperimentConfig::small(1, 14));
         let vps: BTreeSet<_> = out.labels.iter().map(|l| l.vantage).collect();
-        assert!(vps.len() >= 2, "only {} vantage points produced labels", vps.len());
+        assert!(
+            vps.len() >= 2,
+            "only {} vantage points produced labels",
+            vps.len()
+        );
     }
 
     #[test]

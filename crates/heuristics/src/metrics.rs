@@ -21,7 +21,10 @@ pub struct HeuristicConfig {
 
 impl Default for HeuristicConfig {
     fn default() -> Self {
-        HeuristicConfig { threshold: 0.5, bins: 40 }
+        HeuristicConfig {
+            threshold: 0.5,
+            bins: 40,
+        }
     }
 }
 
@@ -39,8 +42,10 @@ pub struct AsScores {
 impl AsScores {
     /// The averaged score over available metrics (`None` if none).
     pub fn combined(&self) -> Option<f64> {
-        let values: Vec<f64> =
-            [self.path_ratio, self.alt_path, self.burst_slope].into_iter().flatten().collect();
+        let values: Vec<f64> = [self.path_ratio, self.alt_path, self.burst_slope]
+            .into_iter()
+            .flatten()
+            .collect();
         if values.is_empty() {
             None
         } else {
@@ -86,7 +91,12 @@ pub fn path_ratio(labels: &[LabeledPath]) -> BTreeMap<AsId, f64> {
     }
     total
         .into_iter()
-        .map(|(a, t)| (a, f64::from(rfd.get(&a).copied().unwrap_or(0)) / f64::from(t)))
+        .map(|(a, t)| {
+            (
+                a,
+                f64::from(rfd.get(&a).copied().unwrap_or(0)) / f64::from(t),
+            )
+        })
         .collect()
 }
 
@@ -107,8 +117,7 @@ pub fn alternative_paths(labels: &[LabeledPath]) -> BTreeMap<AsId, f64> {
     let mut counts: BTreeMap<AsId, u32> = BTreeMap::new();
     for paths in groups.values() {
         for damped in paths.iter().filter(|l| l.rfd) {
-            let alts: Vec<&&LabeledPath> =
-                paths.iter().filter(|l| l.path != damped.path).collect();
+            let alts: Vec<&&LabeledPath> = paths.iter().filter(|l| l.path != damped.path).collect();
             if alts.is_empty() {
                 continue;
             }
@@ -120,7 +129,9 @@ pub fn alternative_paths(labels: &[LabeledPath]) -> BTreeMap<AsId, f64> {
             }
         }
     }
-    sums.into_iter().map(|(a, s)| (a, s / f64::from(counts[&a]))).collect()
+    sums.into_iter()
+        .map(|(a, s)| (a, s / f64::from(counts[&a])))
+        .collect()
 }
 
 /// **M3** — announcement distribution across Bursts (§5.2.3, Fig. 10).
@@ -139,7 +150,9 @@ pub fn burst_distribution(
         if record.prefix != schedule.prefix {
             continue;
         }
-        let Some(sent) = record.beacon_time() else { continue };
+        let Some(sent) = record.beacon_time() else {
+            continue;
+        };
         // Locate the burst this announcement belongs to.
         let Some(burst) = (0..schedule.cycles)
             .find(|&i| sent >= schedule.burst_start(i) && sent < schedule.burst_end(i))
@@ -155,7 +168,9 @@ pub fn burst_distribution(
             .saturating_since(schedule.burst_start(burst))
             .as_secs_f64()
             / schedule.burst_duration.as_secs_f64();
-        let Some(path) = record.path.as_ref().and_then(clean_path) else { continue };
+        let Some(path) = record.path.as_ref().and_then(clean_path) else {
+            continue;
+        };
         for &a in path.asns() {
             histograms
                 .entry(a)
@@ -320,12 +335,20 @@ mod tests {
 
     #[test]
     fn combination_and_threshold() {
-        let s = AsScores { path_ratio: Some(1.0), alt_path: Some(0.8), burst_slope: Some(0.9) };
+        let s = AsScores {
+            path_ratio: Some(1.0),
+            alt_path: Some(0.8),
+            burst_slope: Some(0.9),
+        };
         assert!((s.combined().unwrap() - 0.9).abs() < 1e-12);
         assert!(s.is_rfd(0.5));
         assert!(!s.is_rfd(0.95));
 
-        let partial = AsScores { path_ratio: Some(0.2), alt_path: None, burst_slope: None };
+        let partial = AsScores {
+            path_ratio: Some(0.2),
+            alt_path: None,
+            burst_slope: None,
+        };
         assert!((partial.combined().unwrap() - 0.2).abs() < 1e-12);
 
         let empty = AsScores::default();
@@ -347,7 +370,12 @@ mod tests {
             SimTime::ZERO,
             1,
         );
-        let scores = evaluate(&labels, &Dump::default(), &[&schedule], &HeuristicConfig::default());
+        let scores = evaluate(
+            &labels,
+            &Dump::default(),
+            &[&schedule],
+            &HeuristicConfig::default(),
+        );
         let s1 = scores.per_as[&AsId(1)];
         assert_eq!(s1.path_ratio, Some(1.0));
         assert!(s1.alt_path.is_some());
@@ -366,7 +394,11 @@ mod tests {
             lp(101, &[101, 7, 42, 65000], true),
         ];
         let m1 = path_ratio(&labels);
-        assert_eq!(m1[&AsId(7)], 1.0, "co-traveller inherits the damper's ratio");
+        assert_eq!(
+            m1[&AsId(7)],
+            1.0,
+            "co-traveller inherits the damper's ratio"
+        );
         assert_eq!(m1[&AsId(42)], 1.0);
     }
 }

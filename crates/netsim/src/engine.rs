@@ -202,7 +202,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(1), "early");
         q.schedule_at(SimTime::from_secs(10), "late");
-        assert_eq!(q.pop_until(SimTime::from_secs(5)).map(|(_, e)| e), Some("early"));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(5)).map(|(_, e)| e),
+            Some("early")
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(5)), None);
         assert_eq!(q.len(), 1);
     }

@@ -9,10 +9,8 @@
 //!
 //! The generator is xoshiro256++ seeded through SplitMix64, implemented here
 //! directly (≈40 lines) so the simulation core does not depend on any
-//! external RNG crate's version-specific stream. The [`rand`] traits are
-//! implemented on top, so `SimRng` plugs into `rand`-based samplers too.
-
-use rand::{Error, RngCore, SeedableRng};
+//! external RNG crate's version-specific stream — or, in this offline
+//! build, on any external crate at all.
 
 /// xoshiro256++ generator with SplitMix64 seeding and stream splitting.
 #[derive(Debug, Clone)]
@@ -177,9 +175,7 @@ impl SimRng {
                 continue;
             }
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * scale;
             }
         }
@@ -214,32 +210,13 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_raw() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.next_raw()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl SimRng {
+    /// Fill a byte buffer with generator output (any length).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_raw().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-    fn from_seed(seed: Self::Seed) -> Self {
-        SimRng::new(u64::from_le_bytes(seed))
-    }
-    fn seed_from_u64(state: u64) -> Self {
-        SimRng::new(state)
     }
 }
 

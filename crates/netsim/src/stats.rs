@@ -128,8 +128,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy <= 0.0 { 0.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit { slope, intercept, r_squared })
+    let r_squared = if syy <= 0.0 {
+        0.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Fit a line to equally-spaced bin heights (x = 0, 1, 2, ...).
@@ -155,7 +163,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Number of bins.
@@ -324,7 +336,11 @@ mod tests {
 
     #[test]
     fn relative_change_of_declining_line() {
-        let f = LinearFit { slope: -1.0, intercept: 10.0, r_squared: 1.0 };
+        let f = LinearFit {
+            slope: -1.0,
+            intercept: 10.0,
+            r_squared: 1.0,
+        };
         // From x=0 (y=10) to x=5 (y=5): −50 %.
         assert!((f.relative_change(0.0, 5.0) + 0.5).abs() < 1e-12);
     }

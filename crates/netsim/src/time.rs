@@ -210,9 +210,9 @@ fn format_ms(ms: u64) -> String {
     if ms == u64::MAX {
         return "inf".to_string();
     }
-    if ms % 60_000 == 0 && ms > 0 {
+    if ms.is_multiple_of(60_000) && ms > 0 {
         format!("{}m", ms / 60_000)
-    } else if ms % 1_000 == 0 {
+    } else if ms.is_multiple_of(1_000) {
         format!("{}s", ms / 1_000)
     } else {
         format!("{ms}ms")

@@ -71,11 +71,17 @@ pub fn build(config: &RovScenarioConfig) -> RovScenario {
     let origin2 = topology.beacon_sites.get(1).copied().unwrap_or(origin);
 
     // The paper's actual RPKI beacon prefixes (§7.1).
-    let prefixes: [Prefix; 2] =
-        ["147.28.241.0/24".parse().unwrap(), "147.28.249.0/24".parse().unwrap()];
+    let prefixes: [Prefix; 2] = [
+        "147.28.241.0/24".parse().unwrap(),
+        "147.28.249.0/24".parse().unwrap(),
+    ];
 
     // Converge both prefixes and collect every VP's selected path.
-    let net_config = NetworkConfig { jitter: 0.3, seed: config.seed, ..Default::default() };
+    let net_config = NetworkConfig {
+        jitter: 0.3,
+        seed: config.seed,
+        ..Default::default()
+    };
     let mut net = topology.instantiate(net_config, |_, _, pol| pol);
     if config.observe_everywhere {
         for asn in net.as_ids() {
@@ -184,7 +190,14 @@ pub fn build(config: &RovScenarioConfig) -> RovScenario {
         })
         .collect();
 
-    RovScenario { topology, rov_ases, paths, prefixes, origin, origin2 }
+    RovScenario {
+        topology,
+        rov_ases,
+        paths,
+        prefixes,
+        origin,
+        origin2,
+    }
 }
 
 impl RovScenario {
@@ -225,7 +238,9 @@ impl RovScenario {
                     self.paths.iter().filter(|(p, _)| p.contains(asn)).collect();
                 !appearances.is_empty()
                     && appearances.iter().all(|(p, _)| {
-                        p.asns().iter().any(|&other| other != asn && self.rov_ases.contains(&other))
+                        p.asns()
+                            .iter()
+                            .any(|&other| other != asn && self.rov_ases.contains(&other))
                     })
             })
             .collect()
@@ -235,8 +250,11 @@ impl RovScenario {
     pub fn evaluate(&self, analysis_config: &AnalysisConfig) -> (Analysis, PrecisionRecall) {
         let data = self.path_data();
         let analysis = Analysis::run(&data, analysis_config);
-        let flagged: BTreeSet<AsId> =
-            analysis.property_nodes().iter().map(|n| AsId(n.0)).collect();
+        let flagged: BTreeSet<AsId> = analysis
+            .property_nodes()
+            .iter()
+            .map(|n| AsId(n.0))
+            .collect();
         let universe: BTreeSet<AsId> = data.ids().iter().map(|n| AsId(n.0)).collect();
         let pr = PrecisionRecall::compute(&flagged, &self.rov_ases, &universe);
         (analysis, pr)
@@ -285,13 +303,21 @@ mod tests {
     fn because_has_high_precision_on_rov() {
         let s = build(&small_config(4));
         let (_, pr) = s.evaluate(&AnalysisConfig::fast(4));
-        assert!(pr.precision() >= 0.85, "precision={} fp={:?}", pr.precision(), pr.false_positives);
+        assert!(
+            pr.precision() >= 0.85,
+            "precision={} fp={:?}",
+            pr.precision(),
+            pr.false_positives
+        );
         assert!(pr.recall() > 0.2, "recall={}", pr.recall());
         // The paper's signature: every miss should be a hidden AS (or at
         // least most — small-sample slack).
         let hidden = s.hidden_rov_ases();
-        let unexplained_misses =
-            pr.false_negatives.iter().filter(|m| !hidden.contains(m)).count();
+        let unexplained_misses = pr
+            .false_negatives
+            .iter()
+            .filter(|m| !hidden.contains(m))
+            .count();
         assert!(
             unexplained_misses <= pr.false_negatives.len().div_ceil(3),
             "most misses must be hidden ASs: misses={:?} hidden={hidden:?}",

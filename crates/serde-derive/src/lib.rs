@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The companion `serde` shim crate blanket-implements its marker traits
+//! for every type, so the derives have nothing to generate — they exist
+//! only so `#[derive(Serialize, Deserialize)]` attributes keep compiling
+//! in this offline build. Swapping the shim for real serde requires no
+//! source changes outside the two shim crates.
+
+use proc_macro::TokenStream;
+
+/// Accepted and ignored; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepted and ignored; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

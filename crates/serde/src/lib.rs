@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build container has no crates.io access, so the real serde cannot
+//! be fetched. Nothing in this workspace serialises yet — every use is a
+//! `#[derive(Serialize, Deserialize)]` future-proofing marker — so this
+//! shim keeps the entire dependency surface compiling with marker traits
+//! that are blanket-implemented for all types, plus no-op derive macros
+//! (see `crates/serde-derive`). Replacing it with real serde is a
+//! two-line change in the workspace manifest and requires no source
+//! edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; implemented for every
+/// type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

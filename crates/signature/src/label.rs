@@ -217,7 +217,12 @@ pub fn pair_outcomes(
         // Attribute the pair to a path: the re-advertised path when
         // present, otherwise the last announced path of the burst.
         let path_record = re_adv.copied().or_else(|| {
-            in_burst.iter().rev().find(|r| r.path.is_some()).copied().copied()
+            in_burst
+                .iter()
+                .rev()
+                .find(|r| r.path.is_some())
+                .copied()
+                .copied()
         });
         let Some(path_record) = path_record else {
             continue; // only withdrawals seen: nothing to attribute
@@ -234,8 +239,7 @@ pub fn pair_outcomes(
         let expected = schedule.updates_per_burst().max(1);
         let suppressed =
             (in_burst.len() as f64) <= config.max_burst_delivery_share * expected as f64;
-        let matches =
-            suppressed && r_delta.map(|d| d >= config.min_r_delta).unwrap_or(false);
+        let matches = suppressed && r_delta.map(|d| d >= config.min_r_delta).unwrap_or(false);
         outcomes.push(PairOutcome {
             burst: i,
             path,
@@ -251,9 +255,9 @@ pub fn pair_outcomes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::SimTime;
     use bgpsim::{AggregatorStamp, AsPath};
     use collector::Project;
+    use netsim::SimTime;
 
     fn schedule() -> BeaconSchedule {
         BeaconSchedule::standard(
@@ -266,12 +270,7 @@ mod tests {
         )
     }
 
-    fn rec(
-        t: SimTime,
-        announced: bool,
-        stamp: Option<SimTime>,
-        path: &[u32],
-    ) -> UpdateRecord {
+    fn rec(t: SimTime, announced: bool, stamp: Option<SimTime>, path: &[u32]) -> UpdateRecord {
         UpdateRecord {
             project: Project::Isolario,
             vantage: AsId(900),
@@ -290,7 +289,12 @@ mod tests {
         for i in 0..s.cycles {
             for (j, e) in s.burst_events(i).iter().enumerate() {
                 let announced = j % 2 == 1;
-                v.push(rec(e.at + lag, announced, announced.then_some(e.at), &[900, 100, 65000]));
+                v.push(rec(
+                    e.at + lag,
+                    announced,
+                    announced.then_some(e.at),
+                    &[900, 100, 65000],
+                ));
             }
         }
         v
@@ -305,7 +309,12 @@ mod tests {
             let events = s.burst_events(i);
             for (j, e) in events.iter().enumerate().take(10) {
                 let announced = j % 2 == 1;
-                v.push(rec(e.at + lag, announced, announced.then_some(e.at), &[900, 100, 65000]));
+                v.push(rec(
+                    e.at + lag,
+                    announced,
+                    announced.then_some(e.at),
+                    &[900, 100, 65000],
+                ));
             }
             // Suppression: nothing more during the burst. Withdrawal of the
             // damped route propagates once:
@@ -394,7 +403,7 @@ mod tests {
             let fin = s.final_burst_announce(i);
             for r in records.iter_mut() {
                 if r.beacon_time() == Some(fin) {
-                    r.exported_at = r.exported_at + SimDuration::from_secs(90);
+                    r.exported_at += SimDuration::from_secs(90);
                     r.observed_at = r.exported_at;
                 }
             }
@@ -441,7 +450,10 @@ mod tests {
             }
         }
         let labels = label(records, &s);
-        assert!(labels.is_empty(), "no valid announcements → nothing labeled");
+        assert!(
+            labels.is_empty(),
+            "no valid announcements → nothing labeled"
+        );
     }
 
     #[test]
@@ -461,10 +473,7 @@ mod tests {
         }
         let labels = label(records, &s);
         assert_eq!(labels.len(), 1, "prepending must not split the path");
-        assert_eq!(
-            labels[0].path.asns(),
-            &[AsId(900), AsId(100), AsId(65000)]
-        );
+        assert_eq!(labels[0].path.asns(), &[AsId(900), AsId(100), AsId(65000)]);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl Default for TopologyConfig {
 impl TopologyConfig {
     /// The default configuration with a specific seed.
     pub fn default_with_seed(seed: u64) -> Self {
-        TopologyConfig { seed, ..Default::default() }
+        TopologyConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A deliberately small configuration for fast unit tests.
@@ -83,8 +86,10 @@ const BEACON_BASE: u32 = 65_000;
 /// Generate a topology from the configuration.
 pub fn generate(config: &TopologyConfig) -> Topology {
     assert!(config.n_tier1 >= 1, "need at least one Tier-1");
-    assert!(config.n_vantage_points <= config.n_tier1 + config.n_transit + config.n_stub,
-        "more vantage points than ASs");
+    assert!(
+        config.n_vantage_points <= config.n_tier1 + config.n_transit + config.n_stub,
+        "more vantage points than ASs"
+    );
     let mut rng = SimRng::new(config.seed).split("topology");
     let mut topo = Topology::default();
 
@@ -95,9 +100,14 @@ pub fn generate(config: &TopologyConfig) -> Topology {
     };
 
     // --- Tier-1 clique -------------------------------------------------
-    let tier1: Vec<AsId> = (0..config.n_tier1).map(|i| AsId(TIER1_BASE + i as u32)).collect();
+    let tier1: Vec<AsId> = (0..config.n_tier1)
+        .map(|i| AsId(TIER1_BASE + i as u32))
+        .collect();
     for &id in &tier1 {
-        topo.ases.push(AsInfo { id, tier: Tier::Tier1 });
+        topo.ases.push(AsInfo {
+            id,
+            tier: Tier::Tier1,
+        });
     }
     for i in 0..tier1.len() {
         for j in (i + 1)..tier1.len() {
@@ -118,11 +128,17 @@ pub fn generate(config: &TopologyConfig) -> Topology {
     let mut weight: Vec<u64> = vec![1; providers_pool.len()];
     for i in 0..config.n_transit {
         let id = AsId(TRANSIT_BASE + i as u32);
-        topo.ases.push(AsInfo { id, tier: Tier::Transit });
+        topo.ases.push(AsInfo {
+            id,
+            tier: Tier::Transit,
+        });
         let n_providers = 1 + rng.index(2); // 1 or 2 providers
         let chosen = weighted_distinct(&mut rng, &providers_pool, &weight, n_providers);
         for provider in chosen {
-            let idx = providers_pool.iter().position(|&p| p == provider).expect("chosen from pool");
+            let idx = providers_pool
+                .iter()
+                .position(|&p| p == provider)
+                .expect("chosen from pool");
             weight[idx] += 1;
             topo.links.push(LinkSpec {
                 a: provider,
@@ -139,8 +155,11 @@ pub fn generate(config: &TopologyConfig) -> Topology {
     // Lateral peering between transit ASs. Skip pairs that already have a
     // customer–provider link — one relationship per AS pair.
     let n_peer_links = (config.transit_peering * config.n_transit as f64 / 2.0).round() as usize;
-    let mut peered: std::collections::BTreeSet<(AsId, AsId)> =
-        topo.links.iter().map(|l| (l.a.min(l.b), l.a.max(l.b))).collect();
+    let mut peered: std::collections::BTreeSet<(AsId, AsId)> = topo
+        .links
+        .iter()
+        .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+        .collect();
     if transit.len() >= 2 {
         for _ in 0..n_peer_links {
             let a = transit[rng.index(transit.len())];
@@ -175,9 +194,20 @@ pub fn generate(config: &TopologyConfig) -> Topology {
         .collect();
     for i in 0..config.n_stub {
         let id = AsId(STUB_BASE + i as u32);
-        topo.ases.push(AsInfo { id, tier: Tier::Stub });
-        let n_providers = if rng.chance(config.stub_multihoming) { 2 } else { 1 };
-        let pool = if stub_provider_pool.is_empty() { &tier1 } else { &stub_provider_pool };
+        topo.ases.push(AsInfo {
+            id,
+            tier: Tier::Stub,
+        });
+        let n_providers = if rng.chance(config.stub_multihoming) {
+            2
+        } else {
+            1
+        };
+        let pool = if stub_provider_pool.is_empty() {
+            &tier1
+        } else {
+            &stub_provider_pool
+        };
         let w = if stub_provider_pool.is_empty() {
             vec![1; tier1.len()]
         } else {
@@ -201,14 +231,17 @@ pub fn generate(config: &TopologyConfig) -> Topology {
         .iter()
         .copied()
         .filter(|&t| {
-            topo.links.iter().any(|l| {
-                l.b == t && l.rel_at_a == Relationship::Customer && tier1.contains(&l.a)
-            })
+            topo.links
+                .iter()
+                .any(|l| l.b == t && l.rel_at_a == Relationship::Customer && tier1.contains(&l.a))
         })
         .collect();
     for i in 0..config.n_beacon_sites {
         let id = AsId(BEACON_BASE + i as u32);
-        topo.ases.push(AsInfo { id, tier: Tier::BeaconSite });
+        topo.ases.push(AsInfo {
+            id,
+            tier: Tier::BeaconSite,
+        });
         // Sites are multihomed (like the PEERING testbed the paper's
         // beacons announce through): one Tier-1 provider plus, where
         // available, one transit directly under a Tier-1 — so no single
@@ -253,11 +286,28 @@ pub fn generate(config: &TopologyConfig) -> Topology {
     };
     let n_vp = config.n_vantage_points;
     pick(&tier1, (n_vp / 5).max(1).min(n_vp), &mut rng, &mut chosen);
-    pick(&transit, (n_vp / 2).min(n_vp.saturating_sub(chosen.len())), &mut rng, &mut chosen);
-    let stubs: Vec<AsId> = (0..config.n_stub).map(|i| AsId(STUB_BASE + i as u32)).collect();
-    pick(&stubs, n_vp.saturating_sub(chosen.len()), &mut rng, &mut chosen);
+    pick(
+        &transit,
+        (n_vp / 2).min(n_vp.saturating_sub(chosen.len())),
+        &mut rng,
+        &mut chosen,
+    );
+    let stubs: Vec<AsId> = (0..config.n_stub)
+        .map(|i| AsId(STUB_BASE + i as u32))
+        .collect();
+    pick(
+        &stubs,
+        n_vp.saturating_sub(chosen.len()),
+        &mut rng,
+        &mut chosen,
+    );
     // Top up from anywhere if tiers were too small.
-    pick(&vp_candidates, n_vp.saturating_sub(chosen.len()), &mut rng, &mut chosen);
+    pick(
+        &vp_candidates,
+        n_vp.saturating_sub(chosen.len()),
+        &mut rng,
+        &mut chosen,
+    );
     chosen.sort();
     chosen.truncate(n_vp);
     topo.vantage_points = chosen;
@@ -317,7 +367,10 @@ mod tests {
     fn counts_match_config() {
         let cfg = TopologyConfig::default();
         let t = generate(&cfg);
-        assert_eq!(t.len(), cfg.n_tier1 + cfg.n_transit + cfg.n_stub + cfg.n_beacon_sites);
+        assert_eq!(
+            t.len(),
+            cfg.n_tier1 + cfg.n_transit + cfg.n_stub + cfg.n_beacon_sites
+        );
         assert_eq!(t.beacon_sites.len(), cfg.n_beacon_sites);
         assert_eq!(t.vantage_points.len(), cfg.n_vantage_points);
     }
@@ -339,9 +392,7 @@ mod tests {
             .links
             .iter()
             .filter(|l| {
-                l.rel_at_a == Relationship::Peer
-                    && l.a.0 < TRANSIT_BASE
-                    && l.b.0 < TRANSIT_BASE
+                l.rel_at_a == Relationship::Peer && l.a.0 < TRANSIT_BASE && l.b.0 < TRANSIT_BASE
             })
             .count();
         assert_eq!(tier1_peerings, n * (n - 1) / 2);
@@ -355,7 +406,9 @@ mod tests {
             if a.tier == Tier::Tier1 {
                 continue;
             }
-            let has_provider = adj[&a.id].iter().any(|&(_, rel)| rel == Relationship::Provider);
+            let has_provider = adj[&a.id]
+                .iter()
+                .any(|&(_, rel)| rel == Relationship::Provider);
             assert!(has_provider, "{} has no provider", a.id);
         }
     }
@@ -366,7 +419,9 @@ mod tests {
         let adj = t.adjacency();
         for a in t.ases.iter().filter(|a| a.tier == Tier::Tier1) {
             assert!(
-                adj[&a.id].iter().all(|&(_, rel)| rel != Relationship::Provider),
+                adj[&a.id]
+                    .iter()
+                    .all(|&(_, rel)| rel != Relationship::Provider),
                 "Tier-1 {} has a provider",
                 a.id
             );
@@ -417,8 +472,11 @@ mod tests {
         // session definition would silently overwrite the first.
         for seed in 0..5 {
             let t = generate(&TopologyConfig::tiny(seed));
-            let mut pairs: Vec<(AsId, AsId)> =
-                t.links.iter().map(|l| (l.a.min(l.b), l.a.max(l.b))).collect();
+            let mut pairs: Vec<(AsId, AsId)> = t
+                .links
+                .iter()
+                .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+                .collect();
             let n = pairs.len();
             pairs.sort();
             pairs.dedup();
@@ -439,7 +497,11 @@ mod tests {
     fn full_network_converges_from_beacon() {
         let cfg = TopologyConfig::tiny(11);
         let t = generate(&cfg);
-        let netcfg = bgpsim::NetworkConfig { jitter: 0.3, seed: 11, ..Default::default() };
+        let netcfg = bgpsim::NetworkConfig {
+            jitter: 0.3,
+            seed: 11,
+            ..Default::default()
+        };
         let mut net = t.instantiate(netcfg, |_, _, pol| pol);
         let pfx: bgpsim::Prefix = "10.0.0.0/24".parse().unwrap();
         let site = t.beacon_sites[0];
@@ -450,6 +512,10 @@ mod tests {
             .iter()
             .filter(|&&a| a != site && net.router(a).unwrap().best(pfx).is_some())
             .count();
-        assert_eq!(reachable, t.len() - 1, "all ASs must learn the beacon prefix");
+        assert_eq!(
+            reachable,
+            t.len() - 1,
+            "all ASs must learn the beacon prefix"
+        );
     }
 }

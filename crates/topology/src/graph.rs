@@ -81,7 +81,9 @@ impl Topology {
         }
         for l in &self.links {
             adj.entry(l.a).or_default().push((l.b, l.rel_at_a));
-            adj.entry(l.b).or_default().push((l.a, l.rel_at_a.reversed()));
+            adj.entry(l.b)
+                .or_default()
+                .push((l.a, l.rel_at_a.reversed()));
         }
         adj
     }
@@ -109,8 +111,12 @@ impl Topology {
 
     /// Minimum hop distance from `asn` to any Tier-1 AS (0 for a Tier-1).
     pub fn hops_to_tier1(&self, asn: AsId) -> Option<usize> {
-        let tier1: BTreeSet<AsId> =
-            self.ases.iter().filter(|a| a.tier == Tier::Tier1).map(|a| a.id).collect();
+        let tier1: BTreeSet<AsId> = self
+            .ases
+            .iter()
+            .filter(|a| a.tier == Tier::Tier1)
+            .map(|a| a.id)
+            .collect();
         if tier1.contains(&asn) {
             return Some(0);
         }
@@ -200,21 +206,72 @@ mod tests {
         let ms = SimDuration::from_millis(10);
         Topology {
             ases: vec![
-                AsInfo { id: AsId(1), tier: Tier::Tier1 },
-                AsInfo { id: AsId(2), tier: Tier::Tier1 },
-                AsInfo { id: AsId(10), tier: Tier::Transit },
-                AsInfo { id: AsId(20), tier: Tier::Transit },
-                AsInfo { id: AsId(100), tier: Tier::Stub },
-                AsInfo { id: AsId(101), tier: Tier::Stub },
-                AsInfo { id: AsId(102), tier: Tier::Stub },
+                AsInfo {
+                    id: AsId(1),
+                    tier: Tier::Tier1,
+                },
+                AsInfo {
+                    id: AsId(2),
+                    tier: Tier::Tier1,
+                },
+                AsInfo {
+                    id: AsId(10),
+                    tier: Tier::Transit,
+                },
+                AsInfo {
+                    id: AsId(20),
+                    tier: Tier::Transit,
+                },
+                AsInfo {
+                    id: AsId(100),
+                    tier: Tier::Stub,
+                },
+                AsInfo {
+                    id: AsId(101),
+                    tier: Tier::Stub,
+                },
+                AsInfo {
+                    id: AsId(102),
+                    tier: Tier::Stub,
+                },
             ],
             links: vec![
-                LinkSpec { a: AsId(1), b: AsId(2), rel_at_a: Peer, delay: ms },
-                LinkSpec { a: AsId(1), b: AsId(10), rel_at_a: Customer, delay: ms },
-                LinkSpec { a: AsId(2), b: AsId(20), rel_at_a: Customer, delay: ms },
-                LinkSpec { a: AsId(10), b: AsId(100), rel_at_a: Customer, delay: ms },
-                LinkSpec { a: AsId(10), b: AsId(101), rel_at_a: Customer, delay: ms },
-                LinkSpec { a: AsId(20), b: AsId(102), rel_at_a: Customer, delay: ms },
+                LinkSpec {
+                    a: AsId(1),
+                    b: AsId(2),
+                    rel_at_a: Peer,
+                    delay: ms,
+                },
+                LinkSpec {
+                    a: AsId(1),
+                    b: AsId(10),
+                    rel_at_a: Customer,
+                    delay: ms,
+                },
+                LinkSpec {
+                    a: AsId(2),
+                    b: AsId(20),
+                    rel_at_a: Customer,
+                    delay: ms,
+                },
+                LinkSpec {
+                    a: AsId(10),
+                    b: AsId(100),
+                    rel_at_a: Customer,
+                    delay: ms,
+                },
+                LinkSpec {
+                    a: AsId(10),
+                    b: AsId(101),
+                    rel_at_a: Customer,
+                    delay: ms,
+                },
+                LinkSpec {
+                    a: AsId(20),
+                    b: AsId(102),
+                    rel_at_a: Customer,
+                    delay: ms,
+                },
             ],
             beacon_sites: vec![AsId(100)],
             vantage_points: vec![AsId(102)],
@@ -253,14 +310,21 @@ mod tests {
         let mut t = sample();
         assert!(t.is_connected());
         // Orphan an AS.
-        t.ases.push(AsInfo { id: AsId(999), tier: Tier::Stub });
+        t.ases.push(AsInfo {
+            id: AsId(999),
+            tier: Tier::Stub,
+        });
         assert!(!t.is_connected());
     }
 
     #[test]
     fn instantiate_builds_working_network() {
         let t = sample();
-        let cfg = NetworkConfig { jitter: 0.0, seed: 7, ..Default::default() };
+        let cfg = NetworkConfig {
+            jitter: 0.0,
+            seed: 7,
+            ..Default::default()
+        };
         let mut net = t.instantiate(cfg, |_, _, pol| pol);
         let pfx: bgpsim::Prefix = "10.9.9.0/24".parse().unwrap();
         net.schedule_announce(netsim::SimTime::ZERO, AsId(100), pfx, true);
@@ -271,7 +335,10 @@ mod tests {
             if asn == AsId(100) {
                 continue;
             }
-            assert!(net.router(asn).unwrap().best(pfx).is_some(), "{asn} unreachable");
+            assert!(
+                net.router(asn).unwrap().best(pfx).is_some(),
+                "{asn} unreachable"
+            );
         }
         // The VP tap recorded the announcement.
         assert_eq!(net.tap_log().len(), 1);
@@ -281,7 +348,11 @@ mod tests {
     #[test]
     fn policy_hook_is_consulted_per_session() {
         let t = sample();
-        let cfg = NetworkConfig { jitter: 0.0, seed: 7, ..Default::default() };
+        let cfg = NetworkConfig {
+            jitter: 0.0,
+            seed: 7,
+            ..Default::default()
+        };
         use bgpsim::VendorProfile;
         // AS20 damps everything it hears from AS2.
         let net = t.instantiate(cfg, |local, peer, pol| {

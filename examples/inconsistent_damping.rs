@@ -35,7 +35,11 @@ fn main() {
     let cisco = VendorProfile::Cisco.params();
     let cust = SessionPolicy::plain(Relationship::Customer);
     let prov = SessionPolicy::plain(Relationship::Provider);
-    let mut net = Network::new(NetworkConfig { jitter: 0.2, seed: 2020, ..Default::default() });
+    let mut net = Network::new(NetworkConfig {
+        jitter: 0.2,
+        seed: 2020,
+        ..Default::default()
+    });
 
     // AS 701 damps its sessions from 3356/1299/6453, spares 2497.
     let damped = [3356u32, 1299, 6453];
@@ -50,7 +54,10 @@ fn main() {
     net.connect(AsId(2497), AsId(701), prov, cust, None);
     net.connect(AsId(906), AsId(2497), prov, cust, None); // VP below 2497
 
-    let vps: Vec<AsId> = [701u32, 902, 903, 904, 906, 930].iter().map(|&v| AsId(v)).collect();
+    let vps: Vec<AsId> = [701u32, 902, 903, 904, 906, 930]
+        .iter()
+        .map(|&v| AsId(v))
+        .collect();
     for &vp in &vps {
         net.attach_tap(vp);
     }
@@ -80,18 +87,22 @@ fn main() {
     }
 
     let damped_count = labels.iter().filter(|l| l.rfd).count();
-    println!("labeled paths: {} ({} show the RFD signature)", labels.len(), damped_count);
+    println!(
+        "labeled paths: {} ({} show the RFD signature)",
+        labels.len(),
+        damped_count
+    );
 
     let observations: Vec<PathObservation> = labels
         .iter()
         .flat_map(|l| {
             let nodes: Vec<NodeId> = l.path.asns().iter().map(|a| NodeId(a.0)).collect();
-            std::iter::repeat(PathObservation::new(nodes.clone(), true))
-                .take(l.pairs_matching)
-                .chain(
-                    std::iter::repeat(PathObservation::new(nodes, false))
-                        .take(l.pairs_total - l.pairs_matching),
-                )
+            std::iter::repeat_n(PathObservation::new(nodes.clone(), true), l.pairs_matching).chain(
+                std::iter::repeat_n(
+                    PathObservation::new(nodes, false),
+                    l.pairs_total - l.pairs_matching,
+                ),
+            )
         })
         .collect();
     let sites: Vec<NodeId> = schedules.iter().map(|s| NodeId(s.site.0)).collect();

@@ -18,11 +18,15 @@ fn main() {
         ("rfc7454 (6000)".into(), VendorProfile::Rfc7454.params()),
         (
             "custom (8000)".into(),
-            VendorProfile::Rfc7454.params().with_suppress_threshold(8000.0),
+            VendorProfile::Rfc7454
+                .params()
+                .with_suppress_threshold(8000.0),
         ),
         (
             "custom (10000)".into(),
-            VendorProfile::Rfc7454.params().with_suppress_threshold(10000.0),
+            VendorProfile::Rfc7454
+                .params()
+                .with_suppress_threshold(10000.0),
         ),
     ];
     let intervals: Vec<u64> = vec![1, 2, 3, 5, 8, 9, 10, 15];
@@ -52,7 +56,9 @@ fn main() {
     // Release times from the ceiling: the Fig. 13 plateau values.
     println!("\nmax-suppress-time → release delay after a saturated 1-minute burst:");
     for mins in [10u64, 30, 60] {
-        let p = VendorProfile::Cisco.params().with_max_suppress(SimDuration::from_mins(mins));
+        let p = VendorProfile::Cisco
+            .params()
+            .with_max_suppress(SimDuration::from_mins(mins));
         let steady = p.steady_state_penalty(SimDuration::from_mins(1));
         println!(
             "  max-suppress {mins:>2} min → ceiling {:>6.0}, release after {:>5.1} min",

@@ -49,7 +49,10 @@ fn main() {
     // Run both MCMC kernels, summarise, categorise, pinpoint.
     let analysis = Analysis::run(&data, &AnalysisConfig::fast(7));
 
-    println!("{:<8} {:>6} {:>14} {:>10}  category", "AS", "mean", "95% HPDI", "certainty");
+    println!(
+        "{:<8} {:>6} {:>14} {:>10}  category",
+        "AS", "mean", "95% HPDI", "certainty"
+    );
     for report in &analysis.reports {
         let m = report.hmc.or(report.mh).expect("a sampler ran");
         println!(
@@ -60,7 +63,11 @@ fn main() {
             m.hpdi_high,
             report.certainty(),
             report.category.value(),
-            if report.flagged_inconsistent { "  (inconsistent damper, Eq. 8)" } else { "" }
+            if report.flagged_inconsistent {
+                "  (inconsistent damper, Eq. 8)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -24,7 +24,10 @@ fn main() {
     config.topology.n_vantage_points = 25;
     config.cycles = 3;
 
-    println!("simulating campaign (1-minute beacons, {} cycles)…", config.cycles);
+    println!(
+        "simulating campaign (1-minute beacons, {} cycles)…",
+        config.cycles
+    );
     let out = run_campaign(&config);
     println!(
         "  {} ASs, {} events, {} BGP updates delivered",
@@ -67,7 +70,11 @@ fn main() {
             report.id,
             report.mean(),
             report.certainty(),
-            if report.flagged_inconsistent { "  (via Eq. 8)" } else { "" }
+            if report.flagged_inconsistent {
+                "  (via Eq. 8)"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
         seed,
     };
 
-    println!("building ROV scenario ({} beacon prefixes)…", config.topology.n_beacon_sites);
+    println!(
+        "building ROV scenario ({} beacon prefixes)…",
+        config.topology.n_beacon_sites
+    );
     let scenario = build(&config);
     println!(
         "  {} paths collected, {:.1}% labeled ROV (paper: ~90%)",
@@ -53,7 +56,11 @@ fn main() {
 
     // The paper's recall analysis: every miss should be a hidden AS.
     let hidden = scenario.hidden_rov_ases();
-    let hidden_misses = pr.false_negatives.iter().filter(|m| hidden.contains(m)).count();
+    let hidden_misses = pr
+        .false_negatives
+        .iter()
+        .filter(|m| hidden.contains(m))
+        .count();
     println!(
         "  misses explained by hiding: {}/{}",
         hidden_misses,

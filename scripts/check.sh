@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate: format, lints, tests, and bench compilation.
+# CI (.github/workflows/ci.yml) runs the same sequence; run this before
+# pushing to catch everything it would.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "All checks passed."

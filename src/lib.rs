@@ -6,8 +6,8 @@
 //! [`topology`], [`beacon`], [`collector`], [`signature`], [`heuristics`],
 //! [`rov`], and [`experiments`].
 
-pub use because;
 pub use beacon;
+pub use because;
 pub use bgpsim;
 pub use collector;
 pub use experiments;

@@ -23,8 +23,10 @@ fn pipeline_is_deterministic_end_to_end() {
     let b = run_campaign(&small(100));
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.dump.len(), b.dump.len());
-    let ia = infer_becauase_and_heuristics(&a, &AnalysisConfig::fast(100), &HeuristicConfig::default());
-    let ib = infer_becauase_and_heuristics(&b, &AnalysisConfig::fast(100), &HeuristicConfig::default());
+    let ia =
+        infer_becauase_and_heuristics(&a, &AnalysisConfig::fast(100), &HeuristicConfig::default());
+    let ib =
+        infer_becauase_and_heuristics(&b, &AnalysisConfig::fast(100), &HeuristicConfig::default());
     assert_eq!(ia.because_flagged(), ib.because_flagged());
     assert_eq!(ia.heuristics_flagged(), ib.heuristics_flagged());
 }
@@ -109,7 +111,11 @@ fn mrai_everywhere_never_fakes_rfd() {
     let out = run_campaign(&cfg);
     assert!(!out.labels.is_empty());
     for l in &out.labels {
-        assert!(!l.rfd, "MRAI-only network produced an RFD label on {}", l.path);
+        assert!(
+            !l.rfd,
+            "MRAI-only network produced an RFD label on {}",
+            l.path
+        );
     }
 }
 
@@ -124,7 +130,11 @@ fn no_deployment_means_no_rfd_labels_and_no_flags() {
         &AnalysisConfig::fast(106),
         &HeuristicConfig::default(),
     );
-    assert!(inf.because_flagged().is_empty(), "{:?}", inf.because_flagged());
+    assert!(
+        inf.because_flagged().is_empty(),
+        "{:?}",
+        inf.because_flagged()
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates (hence integration-level).
 
-use because::likelihood::{IncrementalLikelihood, LogLikelihood};
+use because::likelihood::{IncrementalLikelihood, LogLikelihood, P_EPS};
 use because::summary::Marginal;
 use because::{NodeId, PathData, PathObservation};
 use bgpsim::rfd::{FlapKind, RfdState};
@@ -53,7 +53,7 @@ proptest! {
             } else {
                 prop_assert!(state.release_at(&params).is_none());
             }
-            now = now + SimDuration::from_secs(*g);
+            now += SimDuration::from_secs(*g);
         }
     }
 
@@ -68,7 +68,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         for k in &kinds {
             state.record(flap_kind(*k), now, &params);
-            now = now + SimDuration::from_secs(45);
+            now += SimDuration::from_secs(45);
         }
         if state.is_suppressed() {
             let release = state.release_at(&params).unwrap();
@@ -160,6 +160,94 @@ proptest! {
             prop_assert!(full.is_finite());
             prop_assert!((inc.total() - full).abs() < 1e-6,
                 "incremental {} vs full {}", inc.total(), full);
+        }
+    }
+
+    /// Long commit sequences hugging the `P_EPS` clamp boundaries — the
+    /// regime where commit-time rounding drift used to break the
+    /// `path_sum ≤ 0` invariant — keep the incremental cache in agreement
+    /// with the full evaluator, NaN-free.
+    #[test]
+    fn incremental_consistent_at_clamp_boundaries(
+        paths in proptest::collection::vec(
+            (proptest::collection::vec(1u32..8, 1..4), any::<bool>()),
+            1..15
+        ),
+        moves in proptest::collection::vec((0usize..8, 0u8..7), 20..200),
+    ) {
+        let observations: Vec<PathObservation> = paths
+            .iter()
+            .map(|(ids, label)| PathObservation::new(
+                ids.iter().map(|&i| NodeId(i)).collect(), *label))
+            .collect();
+        let data = PathData::from_observations(&observations, &[]);
+        if data.num_nodes() == 0 {
+            return Ok(());
+        }
+        let ll = LogLikelihood::new(&data);
+        let mut p = vec![0.5; data.num_nodes()];
+        let mut inc = IncrementalLikelihood::new(&data, &p);
+        for (idx, sel) in moves {
+            let i = idx % data.num_nodes();
+            // Boundary-biased move set: the clamp values themselves, the
+            // raw 0/1 extremes, and near-boundary neighbours.
+            let value = match sel {
+                0 => P_EPS,
+                1 => 1.0 - P_EPS,
+                2 => 0.0,
+                3 => 1.0,
+                4 => 2.0 * P_EPS,
+                5 => 1.0 - 2.0 * P_EPS,
+                _ => 0.5,
+            };
+            let delta = inc.delta(i, value);
+            prop_assert!(!delta.is_nan(), "NaN delta at i={i} value={value}");
+            inc.commit(i, value, delta);
+            p[i] = value;
+        }
+        let full = ll.eval(&p);
+        prop_assert!(full.is_finite());
+        prop_assert!(!inc.total().is_nan());
+        prop_assert!(
+            (inc.total() - full).abs() < 1e-6 * full.abs().max(1.0),
+            "after boundary walk: incremental {} vs full {}", inc.total(), full
+        );
+    }
+
+    /// `eval` and `grad` stay finite when every coordinate sits at a raw
+    /// extreme (0 or 1) or at a clamp boundary.
+    #[test]
+    fn likelihood_finite_for_all_extreme_inputs(
+        paths in proptest::collection::vec(
+            (proptest::collection::vec(1u32..8, 1..4), any::<bool>()),
+            1..15
+        ),
+        selectors in proptest::collection::vec(0u8..4, 8),
+    ) {
+        let observations: Vec<PathObservation> = paths
+            .iter()
+            .map(|(ids, label)| PathObservation::new(
+                ids.iter().map(|&i| NodeId(i)).collect(), *label))
+            .collect();
+        let data = PathData::from_observations(&observations, &[]);
+        if data.num_nodes() == 0 {
+            return Ok(());
+        }
+        let p: Vec<f64> = (0..data.num_nodes())
+            .map(|i| match selectors[i % selectors.len()] {
+                0 => 0.0,
+                1 => 1.0,
+                2 => P_EPS,
+                _ => 1.0 - P_EPS,
+            })
+            .collect();
+        let ll = LogLikelihood::new(&data);
+        let v = ll.eval(&p);
+        prop_assert!(v.is_finite(), "eval({p:?}) = {v}");
+        let mut g = vec![0.0; data.num_nodes()];
+        ll.grad(&p, &mut g);
+        for (i, gi) in g.iter().enumerate() {
+            prop_assert!(gi.is_finite(), "grad[{i}] = {gi} at p={p:?}");
         }
     }
 
