@@ -132,6 +132,29 @@ pub struct TapRecord {
     pub route: Option<Route>,
 }
 
+/// RFD activity under one parameter set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RfdProfileStats {
+    /// Routes driven into suppression.
+    pub suppressions: u64,
+    /// Suppressed routes released (by decay or reuse timer).
+    pub releases: u64,
+}
+
+/// Protocol-level counters aggregated across the whole network.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Announcements delivered to a router.
+    pub updates_announced: u64,
+    /// Withdrawals delivered to a router.
+    pub updates_withdrawn: u64,
+    /// Announcements the MRAI gates deferred.
+    pub mrai_deferrals: u64,
+    /// RFD suppressions/releases keyed by parameter-set name
+    /// (`"cisco"`, `"juniper"`, `"rfc7454"`, or `"custom"`).
+    pub rfd: BTreeMap<&'static str, RfdProfileStats>,
+}
+
 /// The simulated network.
 pub struct Network {
     routers: BTreeMap<AsId, Router>,
@@ -144,6 +167,7 @@ pub struct Network {
     /// Last scheduled delivery per directed link, to preserve TCP FIFO.
     link_horizon: BTreeMap<(AsId, AsId), SimTime>,
     delivered: u64,
+    stats: NetStats,
 }
 
 impl Network {
@@ -160,6 +184,7 @@ impl Network {
             config,
             link_horizon: BTreeMap::new(),
             delivered: 0,
+            stats: NetStats::default(),
         }
     }
 
@@ -236,6 +261,33 @@ impl Network {
         self.queue.processed()
     }
 
+    /// Protocol-level counters (updates, MRAI deferrals, RFD activity).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The deepest the event queue has ever been.
+    pub fn queue_depth_high_water(&self) -> usize {
+        self.queue.depth_high_water()
+    }
+
+    /// Export queue and protocol metrics into a run report as the
+    /// `netsim.queue` and `bgpsim.network` sections.
+    pub fn export_obs(&self, report: &mut obs::RunReport) {
+        report.push_section(self.queue.obs_section("netsim.queue"));
+        let section = report.section("bgpsim.network");
+        section
+            .counter("updates_delivered", self.delivered)
+            .counter("updates_announced", self.stats.updates_announced)
+            .counter("updates_withdrawn", self.stats.updates_withdrawn)
+            .counter("mrai_deferrals", self.stats.mrai_deferrals);
+        for (name, profile) in &self.stats.rfd {
+            section
+                .counter(&format!("rfd_suppressions.{name}"), profile.suppressions)
+                .counter(&format!("rfd_releases.{name}"), profile.releases);
+        }
+    }
+
     /// Schedule an origination (announcement) of `prefix` at `router`.
     /// With `stamp`, the announcement carries an aggregator timestamp equal
     /// to the fire time — the beacon convention.
@@ -283,9 +335,19 @@ impl Network {
     }
 
     fn dispatch(&mut self, now: SimTime, ev: NetEvent) {
+        // Which (peer, prefix) session any RFD transition in the output
+        // belongs to — only deliveries and reuse timers can flip RFD
+        // state, and both name the session up front.
+        let mut rfd_session: Option<(AsId, Prefix)> = None;
         let (router_id, output) = match ev {
             NetEvent::Deliver { from, to, update } => {
                 self.delivered += 1;
+                if update.action.is_announce() {
+                    self.stats.updates_announced += 1;
+                } else {
+                    self.stats.updates_withdrawn += 1;
+                }
+                rfd_session = Some((from, update.prefix));
                 let Some(r) = self.routers.get_mut(&to) else {
                     return;
                 };
@@ -306,6 +368,7 @@ impl Network {
                 peer,
                 prefix,
             } => {
+                rfd_session = Some((peer, prefix));
                 let Some(r) = self.routers.get_mut(&router) else {
                     return;
                 };
@@ -329,6 +392,25 @@ impl Network {
                 (router, r.withdraw_origin(prefix, now))
             }
         };
+
+        self.stats.mrai_deferrals += u64::from(output.mrai_deferrals);
+        if output.rfd_suppressed || output.rfd_released {
+            let name = rfd_session
+                .and_then(|(peer, prefix)| {
+                    self.routers
+                        .get(&router_id)?
+                        .session_policy(peer)?
+                        .rfd_for(prefix)
+                })
+                .map_or("custom", |params| params.profile_name());
+            let profile = self.stats.rfd.entry(name).or_default();
+            if output.rfd_suppressed {
+                profile.suppressions += 1;
+            }
+            if output.rfd_released {
+                profile.releases += 1;
+            }
+        }
 
         // Translate the router's requests into events.
         for (peer, update) in output.sends {
@@ -589,6 +671,59 @@ mod tests {
             during_burst < 60,
             "damping must thin the update stream, saw {during_burst}"
         );
+    }
+
+    #[test]
+    fn stats_count_updates_and_rfd_by_profile() {
+        // Same damped-chain setup as above: Cisco RFD at AS30's session.
+        let mut net = Network::new(cfg());
+        net.connect(
+            AsId(10),
+            AsId(20),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer),
+            None,
+        );
+        net.connect(
+            AsId(20),
+            AsId(30),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer).with_rfd(VendorProfile::Cisco.params()),
+            None,
+        );
+        for i in 0..120u64 {
+            if i % 2 == 0 {
+                net.schedule_withdraw(SimTime::from_mins(i), AsId(10), pfx());
+            } else {
+                net.schedule_announce(SimTime::from_mins(i), AsId(10), pfx(), true);
+            }
+        }
+        net.run_to_quiescence();
+        let stats = net.stats();
+        assert!(stats.updates_announced > 0 && stats.updates_withdrawn > 0);
+        assert_eq!(
+            stats.updates_announced + stats.updates_withdrawn,
+            net.delivered()
+        );
+        let cisco = stats.rfd.get("cisco").expect("cisco profile active");
+        assert!(cisco.suppressions >= 1, "flap burst must suppress");
+        assert_eq!(
+            cisco.suppressions, cisco.releases,
+            "every suppression released at quiescence"
+        );
+        assert!(net.queue_depth_high_water() > 0);
+
+        let mut report = obs::RunReport::new("t");
+        net.export_obs(&mut report);
+        let section = report.get("bgpsim.network").unwrap();
+        assert!(
+            matches!(
+                section.get("rfd_suppressions.cisco"),
+                Some(obs::Value::Counter(n)) if *n == cisco.suppressions
+            ),
+            "per-profile counters exported"
+        );
+        assert!(report.get("netsim.queue").is_some());
     }
 
     #[test]

@@ -122,6 +122,22 @@ impl RfdParams {
         self
     }
 
+    /// The metric-label name of the vendor profile these params came
+    /// from, or `"custom"` for anything tweaked away from the Appendix B
+    /// sets (builder-modified params, Fig. 13 plateau variants).
+    pub fn profile_name(&self) -> &'static str {
+        for profile in [
+            VendorProfile::Cisco,
+            VendorProfile::Juniper,
+            VendorProfile::Rfc7454,
+        ] {
+            if *self == profile.params() {
+                return profile.name();
+            }
+        }
+        "custom"
+    }
+
     /// The penalty ceiling: `reuse × 2^(max_suppress / half_life)`.
     ///
     /// A penalty capped here decays to the reuse threshold in exactly
@@ -310,6 +326,19 @@ mod tests {
     }
     fn rfc() -> RfdParams {
         VendorProfile::Rfc7454.params()
+    }
+
+    #[test]
+    fn profile_name_round_trips_and_flags_custom() {
+        for p in [
+            VendorProfile::Cisco,
+            VendorProfile::Juniper,
+            VendorProfile::Rfc7454,
+        ] {
+            assert_eq!(p.params().profile_name(), p.name());
+        }
+        let tweaked = cisco().with_max_suppress(SimDuration::from_mins(30));
+        assert_eq!(tweaked.profile_name(), "custom");
     }
 
     #[test]

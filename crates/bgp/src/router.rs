@@ -86,6 +86,12 @@ pub struct RouterOutput {
     pub rfd_timers: Vec<(AsId, Prefix, SimTime)>,
     /// The Loc-RIB change, if the best route moved.
     pub loc_rib_change: Option<LocRibChange>,
+    /// Announcements the MRAI gate deferred while processing this input.
+    pub mrai_deferrals: u32,
+    /// True if this input drove an RFD state into suppression.
+    pub rfd_suppressed: bool,
+    /// True if this input released a suppressed RFD state.
+    pub rfd_released: bool,
 }
 
 impl RouterOutput {
@@ -96,6 +102,9 @@ impl RouterOutput {
         if other.loc_rib_change.is_some() {
             self.loc_rib_change = other.loc_rib_change;
         }
+        self.mrai_deferrals += other.mrai_deferrals;
+        self.rfd_suppressed |= other.rfd_suppressed;
+        self.rfd_released |= other.rfd_released;
     }
 }
 
@@ -228,9 +237,13 @@ impl Router {
                             .release_at(&params)
                             .expect("suppressed has release time");
                         out.rfd_timers.push((from, prefix, at));
+                        out.rfd_suppressed = true;
                         usability_changed = true;
                     }
-                    RfdTransition::Released => usability_changed = true,
+                    RfdTransition::Released => {
+                        out.rfd_released = true;
+                        usability_changed = true;
+                    }
                     RfdTransition::StillSuppressed => {
                         // The route stays invisible; the armed timer will
                         // re-check and re-arm as needed. Nothing visible
@@ -269,6 +282,7 @@ impl Router {
         };
         if entry.rfd.tick(now, &params) {
             // Released: the stored route (if any) becomes usable again.
+            out.rfd_released = true;
             out.merge(self.reselect(prefix, now));
         } else if entry.rfd.is_suppressed() {
             // Flaps while suppressed pushed the release time out; re-arm.
@@ -438,6 +452,7 @@ impl Router {
             match neighbor.mrai.submit(update, now) {
                 MraiVerdict::SendNow(u) => out.sends.push((peer, u)),
                 MraiVerdict::Deferred { at, arm } => {
+                    out.mrai_deferrals += 1;
                     if arm {
                         out.mrai_timers.push((peer, prefix, at));
                     }

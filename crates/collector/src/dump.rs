@@ -146,6 +146,27 @@ impl Dump {
             .map(|r| r.exported_at.saturating_since(r.observed_at).as_secs_f64())
             .collect()
     }
+
+    /// Snapshot the dump into a `collector.dump` report section:
+    /// per-project record counts and the export-delay distribution.
+    pub fn obs_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("collector.dump");
+        section.counter("records", self.records.len() as u64);
+        for project in Project::ALL {
+            let slug = project.name().to_lowercase().replace(' ', "_");
+            let count = self.records.iter().filter(|r| r.project == project).count();
+            section.counter(&format!("records.{slug}"), count as u64);
+        }
+        // Bounds span the projects' export-delay models (seconds to a
+        // couple of minutes).
+        let mut delays =
+            obs::Histogram::new(&[1.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0]);
+        for r in &self.records {
+            delays.record(r.exported_at.saturating_since(r.observed_at).as_secs_f64());
+        }
+        section.histogram("export_delay_secs", &delays);
+        section
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +238,29 @@ mod tests {
         let d = Dump::new(vec![rec(1, 10, true, true)]);
         assert_eq!(d.export_delays_secs(Project::Isolario), vec![10.0]);
         assert!(d.export_delays_secs(Project::RipeRis).is_empty());
+    }
+
+    #[test]
+    fn obs_section_counts_per_project_and_buckets_delays() {
+        let mut third = rec(3, 30, true, true);
+        third.project = Project::RipeRis;
+        let d = Dump::new(vec![rec(1, 10, true, true), rec(2, 20, false, true), third]);
+        let section = d.obs_section();
+        assert_eq!(section.name, "collector.dump");
+        assert_eq!(section.get("records"), Some(&obs::Value::Counter(3)));
+        assert_eq!(
+            section.get("records.isolario"),
+            Some(&obs::Value::Counter(2))
+        );
+        assert_eq!(
+            section.get("records.ripe_ris"),
+            Some(&obs::Value::Counter(1))
+        );
+        match section.get("export_delay_secs") {
+            // All three records export 10 s after observation.
+            Some(obs::Value::Histogram(h)) => assert_eq!(h.count, 3),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub struct Analysis {
     pub unexplained_paths: usize,
     /// Worst split-R̂ across coordinates and kernels (NaN if single chain).
     pub max_r_hat: f64,
+    /// Wall-clock spent running MH chains (0 if MH did not run).
+    pub mh_secs: f64,
+    /// Wall-clock spent running HMC chains (0 if HMC did not run).
+    pub hmc_secs: f64,
 }
 
 impl Analysis {
@@ -138,6 +142,7 @@ impl Analysis {
         );
         let rng = SimRng::new(config.seed);
 
+        let mh_watch = obs::Stopwatch::start();
         let mh_chains = if config.run_mh {
             let mh_rng = rng.split("mh");
             run_chains(
@@ -149,6 +154,12 @@ impl Analysis {
         } else {
             Vec::new()
         };
+        let mh_secs = if config.run_mh {
+            mh_watch.elapsed_secs()
+        } else {
+            0.0
+        };
+        let hmc_watch = obs::Stopwatch::start();
         let hmc_chains = if config.run_hmc {
             let hmc_rng = rng.split("hmc");
             run_chains(
@@ -159,6 +170,11 @@ impl Analysis {
             )
         } else {
             Vec::new()
+        };
+        let hmc_secs = if config.run_hmc {
+            hmc_watch.elapsed_secs()
+        } else {
+            0.0
         };
 
         let mh_pooled = (!mh_chains.is_empty()).then(|| Chain::pooled(&mh_chains));
@@ -234,7 +250,40 @@ impl Analysis {
             hmc_chains,
             unexplained_paths: pin.unexplained_paths.len(),
             max_r_hat,
+            mh_secs,
+            hmc_secs,
         }
+    }
+
+    /// Export kernel and diagnostics metrics into a run report: one
+    /// `because.<kernel>` section per kernel that ran, plus
+    /// `because.diagnostics`.
+    pub fn export_obs(&self, report: &mut obs::RunReport) {
+        for (label, chains, wall) in [
+            ("because.mh", &self.mh_chains, self.mh_secs),
+            ("because.hmc", &self.hmc_chains, self.hmc_secs),
+        ] {
+            if chains.is_empty() {
+                continue;
+            }
+            let pooled = Chain::pooled(chains);
+            let section = report.section(label);
+            section
+                .counter("chains", chains.len() as u64)
+                .counter("draws", pooled.len() as u64)
+                .counter("proposals", pooled.proposals)
+                .counter("divergences", pooled.divergences)
+                .counter("likelihood_evals", pooled.likelihood_evals)
+                .counter("grad_evals", pooled.grad_evals)
+                .gauge("accept_rate", pooled.accept_rate)
+                .span_secs("warmup_secs", pooled.warmup_secs)
+                .span_secs("sampling_secs", pooled.sampling_secs)
+                .span_secs("wall_secs", wall);
+        }
+        report
+            .section("because.diagnostics")
+            .gauge("max_r_hat", self.max_r_hat)
+            .counter("unexplained_paths", self.unexplained_paths as u64);
     }
 
     /// The report for one AS.
@@ -415,6 +464,28 @@ mod tests {
         };
         let a = Analysis::run(&data, &cfg);
         assert!(a.max_r_hat < 1.1, "r_hat={}", a.max_r_hat);
+    }
+
+    #[test]
+    fn export_obs_emits_kernel_sections() {
+        let obs_paths = observations(&[(&[1], true), (&[2], false)], 10);
+        let data = PathData::from_observations(&obs_paths, &[]);
+        let a = Analysis::run(&data, &AnalysisConfig::fast(9));
+        let mut report = obs::RunReport::new("test");
+        a.export_obs(&mut report);
+        for section in ["because.mh", "because.hmc", "because.diagnostics"] {
+            assert!(report.get(section).is_some(), "missing {section}");
+        }
+        let mh = report.get("because.mh").unwrap();
+        assert!(
+            matches!(mh.get("likelihood_evals"), Some(obs::Value::Counter(n)) if *n > 0),
+            "MH must count delta evaluations"
+        );
+        let hmc = report.get("because.hmc").unwrap();
+        assert!(
+            matches!(hmc.get("grad_evals"), Some(obs::Value::Counter(n)) if *n > 0),
+            "HMC must count gradient evaluations"
+        );
     }
 
     #[test]

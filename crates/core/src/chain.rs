@@ -49,6 +49,21 @@ pub trait Sampler {
     fn proposals(&self) -> u64;
     /// Which kind this is.
     fn kind(&self) -> SamplerKind;
+    /// Divergent trajectories so far (HMC; 0 for kernels without a
+    /// divergence notion).
+    fn divergences(&self) -> u64 {
+        0
+    }
+    /// Likelihood evaluations so far (full or incremental — the unit a
+    /// kernel actually pays for).
+    fn likelihood_evals(&self) -> u64 {
+        0
+    }
+    /// Likelihood gradient evaluations so far (0 for gradient-free
+    /// kernels).
+    fn grad_evals(&self) -> u64 {
+        0
+    }
 }
 
 /// Settings for running one or more chains.
@@ -89,19 +104,25 @@ pub struct Chain {
     /// Proposals behind `accept_rate` (0 when unknown, e.g. synthetic
     /// chains); used to weight pooled rates.
     pub proposals: u64,
+    /// Divergent trajectories during warmup + sampling (HMC only).
+    pub divergences: u64,
+    /// Likelihood evaluations the kernel paid for (incremental deltas
+    /// for MH, full evals for HMC).
+    pub likelihood_evals: u64,
+    /// Likelihood gradient evaluations (0 for gradient-free kernels).
+    pub grad_evals: u64,
+    /// Wall-clock spent in warmup (0 for chains not built by
+    /// [`run_chain`]).
+    pub warmup_secs: f64,
+    /// Wall-clock spent collecting samples (0 for chains not built by
+    /// [`run_chain`]).
+    pub sampling_secs: f64,
 }
 
 impl Chain {
     /// An empty chain of the given dimensionality.
     pub fn new(kind: SamplerKind, dim: usize) -> Chain {
-        Chain {
-            kind,
-            samples: Vec::new(),
-            dim,
-            draws: 0,
-            accept_rate: 0.0,
-            proposals: 0,
-        }
+        Chain::with_capacity(kind, dim, 0)
     }
 
     /// An empty chain with room for `draws` draws.
@@ -113,6 +134,11 @@ impl Chain {
             draws: 0,
             accept_rate: 0.0,
             proposals: 0,
+            divergences: 0,
+            likelihood_evals: 0,
+            grad_evals: 0,
+            warmup_secs: 0.0,
+            sampling_secs: 0.0,
         }
     }
 
@@ -208,6 +234,11 @@ impl Chain {
             assert_eq!(c.dim, dim, "cannot pool different dimensions");
             pooled.samples.extend_from_slice(&c.samples);
             pooled.draws += c.draws;
+            pooled.divergences += c.divergences;
+            pooled.likelihood_evals += c.likelihood_evals;
+            pooled.grad_evals += c.grad_evals;
+            pooled.warmup_secs += c.warmup_secs;
+            pooled.sampling_secs += c.sampling_secs;
         }
         let total_proposals: u64 = chains.iter().map(|c| c.proposals).sum();
         pooled.proposals = total_proposals;
@@ -232,11 +263,14 @@ impl Chain {
 
 /// Run one chain: warmup with adaptation, then collect thinned samples.
 pub fn run_chain<S: Sampler>(mut sampler: S, config: &ChainConfig, rng: &mut SimRng) -> Chain {
+    let warmup_watch = obs::Stopwatch::start();
     for it in 0..config.warmup {
         sampler.step(rng);
         sampler.adapt(it, config.warmup);
     }
+    let warmup_secs = warmup_watch.elapsed_secs();
     let mut chain = Chain::with_capacity(sampler.kind(), sampler.dim(), config.samples);
+    let sampling_watch = obs::Stopwatch::start();
     let thin = config.thin.max(1);
     for _ in 0..config.samples {
         for _ in 0..thin {
@@ -246,6 +280,11 @@ pub fn run_chain<S: Sampler>(mut sampler: S, config: &ChainConfig, rng: &mut Sim
     }
     chain.accept_rate = sampler.acceptance_rate();
     chain.proposals = sampler.proposals();
+    chain.divergences = sampler.divergences();
+    chain.likelihood_evals = sampler.likelihood_evals();
+    chain.grad_evals = sampler.grad_evals();
+    chain.warmup_secs = warmup_secs;
+    chain.sampling_secs = sampling_watch.elapsed_secs();
     chain
 }
 
@@ -414,6 +453,37 @@ mod tests {
         let pooled = Chain::pooled(&chains);
         assert_eq!(pooled.len(), 80);
         assert_eq!(pooled.column(0).len(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pool different dimensions")]
+    fn pooled_rejects_mixed_dimensions() {
+        let a = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.5);
+        let b = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0, 1.0]; 4], 0.5);
+        let _ = Chain::pooled(&[a, b]);
+    }
+
+    #[test]
+    fn run_chain_records_phase_wall_clock() {
+        let mut rng = SimRng::new(7);
+        let chain = run_chain(
+            Toy {
+                x: vec![0.0],
+                accepted: 0,
+                proposed: 0,
+            },
+            &ChainConfig {
+                warmup: 200,
+                samples: 200,
+                thin: 1,
+            },
+            &mut rng,
+        );
+        assert!(chain.warmup_secs > 0.0);
+        assert!(chain.sampling_secs > 0.0);
+        // The Toy kernel uses the default (zero) instrumentation hooks.
+        assert_eq!(chain.divergences, 0);
+        assert_eq!(chain.likelihood_evals, 0);
     }
 
     #[test]

@@ -8,9 +8,21 @@
 
 use crate::chain::Chain;
 
+/// Longest run of lag pairs scanned by [`effective_sample_size`].
+///
+/// Geyer's initial positive sequence usually terminates after a handful
+/// of pairs, but on a pathologically sticky chain every pair sum stays
+/// positive and an uncapped scan costs O(n²). The cap bounds the scan at
+/// O(n · `ESS_MAX_LAG_PAIRS`). Hitting it truncates a positive tail,
+/// which can only over-estimate ESS slightly — and a chain still
+/// positively autocorrelated at lag 2·1024 carries almost no usable
+/// draws regardless.
+pub const ESS_MAX_LAG_PAIRS: usize = 1024;
+
 /// Effective sample size of one marginal draw sequence, via the initial
 /// positive sequence estimator (Geyer): sum autocorrelations in pairs
-/// until a pair sum goes non-positive.
+/// until a pair sum goes non-positive, or [`ESS_MAX_LAG_PAIRS`] pairs
+/// have been taken.
 pub fn effective_sample_size(draws: &[f64]) -> f64 {
     let n = draws.len();
     if n < 4 {
@@ -22,29 +34,43 @@ pub fn effective_sample_size(draws: &[f64]) -> f64 {
         // A constant chain carries one effective observation.
         return 1.0;
     }
-    let autocov = |lag: usize| -> f64 {
-        draws[..n - lag]
-            .iter()
-            .zip(&draws[lag..])
-            .map(|(a, b)| (a - mean) * (b - mean))
-            .sum::<f64>()
-            / n as f64
-    };
     let mut rho_sum = 0.0;
     let mut lag = 1;
-    while lag + 1 < n {
-        let pair = (autocov(lag) + autocov(lag + 1)) / var;
+    let mut pairs = 0;
+    while lag + 1 < n && pairs < ESS_MAX_LAG_PAIRS {
+        // One streaming pass computes both paired autocovariances:
+        // iterate the shorter overlap (lag + 1) jointly, then add the one
+        // extra product the lag-`lag` overlap has. Accumulation order
+        // matches the two separate passes this replaced, so estimates
+        // are unchanged.
+        let mut c0 = 0.0;
+        let mut c1 = 0.0;
+        for i in 0..n - lag - 1 {
+            let a = draws[i] - mean;
+            c0 += a * (draws[i + lag] - mean);
+            c1 += a * (draws[i + lag + 1] - mean);
+        }
+        c0 += (draws[n - lag - 1] - mean) * (draws[n - 1] - mean);
+        let pair = (c0 / n as f64 + c1 / n as f64) / var;
         if pair <= 0.0 {
             break;
         }
         rho_sum += pair;
         lag += 2;
+        pairs += 1;
     }
     (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
 }
 
 /// Minimum ESS across all coordinates of a chain.
+///
+/// Returns `NaN` for a zero-dimension chain: there is no coordinate to
+/// measure, and the `+∞` a bare min-fold would produce reads downstream
+/// as "perfectly mixed".
 pub fn min_ess(chain: &Chain) -> f64 {
+    if chain.dim() == 0 {
+        return f64::NAN;
+    }
     let mut buf = Vec::with_capacity(chain.len());
     (0..chain.dim())
         .map(|i| {
@@ -58,31 +84,43 @@ pub fn min_ess(chain: &Chain) -> f64 {
 /// in half and the Gelman–Rubin statistic computed over the 2m half
 /// chains. Values near 1 indicate convergence; > 1.05 is suspect.
 pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
+    // The pooled B/W formulas below assume every half contributes the
+    // same number of draws, so halves from different-length chains are
+    // truncated to the common minimum length before any statistics are
+    // computed. (Computing per-half stats at full length but plugging
+    // the minimum into the formulas, as an earlier version did, skews
+    // both B and W whenever chain lengths differ.)
+    let Some(min_half) = chains
+        .iter()
+        .filter(|c| c.len() >= 4)
+        .map(|c| c.len() / 2)
+        .min()
+    else {
+        return f64::NAN;
+    };
     // Per-half statistics gathered from one reused column buffer — no
     // per-half allocations.
     let mut col: Vec<f64> = Vec::new();
     let mut means: Vec<f64> = Vec::new();
     let mut vars: Vec<f64> = Vec::new();
-    let mut min_len = usize::MAX;
     for c in chains {
         if c.len() < 4 {
             continue;
         }
         c.copy_column(coord, &mut col);
         let mid = col.len() / 2;
-        for half in [&col[..mid], &col[mid..]] {
+        for half in [&col[..min_half], &col[mid..mid + min_half]] {
             let len = half.len() as f64;
             let mu = half.iter().sum::<f64>() / len;
             means.push(mu);
             vars.push(half.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (len - 1.0));
-            min_len = min_len.min(half.len());
         }
     }
     if means.len() < 2 {
         return f64::NAN;
     }
     let m = means.len() as f64;
-    let n = min_len as f64;
+    let n = min_half as f64;
     let grand = means.iter().sum::<f64>() / m;
     let b = n / (m - 1.0) * means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>();
     let w = vars.iter().sum::<f64>() / m;
@@ -94,11 +132,23 @@ pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
 }
 
 /// Worst split-R̂ over all coordinates.
+///
+/// Returns `NaN` when there are no chains, the chains have no
+/// coordinates, or every per-coordinate R̂ is itself `NaN` (all chains
+/// too short): the `-∞` a bare max-fold would produce reads downstream
+/// as "perfectly converged".
 pub fn max_r_hat(chains: &[Chain]) -> f64 {
     let dim = chains.first().map(Chain::dim).unwrap_or(0);
-    (0..dim)
-        .map(|i| split_r_hat(chains, i))
-        .fold(f64::NEG_INFINITY, f64::max)
+    let mut worst = f64::NAN;
+    for i in 0..dim {
+        let r = split_r_hat(chains, i);
+        // f64::max ignores NaN operands, which is exactly wrong here:
+        // propagate a known value over NaN, but never fabricate one.
+        if !r.is_nan() && (worst.is_nan() || r > worst) {
+            worst = r;
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -163,6 +213,138 @@ mod tests {
         let b = chain_of((0..500).map(|_| vec![5.0 + rng.gaussian()]).collect());
         let r = split_r_hat(&[a, b], 0);
         assert!(r > 1.5, "rhat={r}");
+    }
+
+    /// The uncapped two-pass estimator this module used before the
+    /// streaming rewrite — kept as the reference for equivalence tests.
+    fn reference_ess(draws: &[f64]) -> f64 {
+        let n = draws.len();
+        if n < 4 {
+            return n as f64;
+        }
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var: f64 = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        if var <= 0.0 {
+            return 1.0;
+        }
+        let autocov = |lag: usize| -> f64 {
+            draws[..n - lag]
+                .iter()
+                .zip(&draws[lag..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / n as f64
+        };
+        let mut rho_sum = 0.0;
+        let mut lag = 1;
+        while lag + 1 < n {
+            let pair = (autocov(lag) + autocov(lag + 1)) / var;
+            if pair <= 0.0 {
+                break;
+            }
+            rho_sum += pair;
+            lag += 2;
+        }
+        (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+    }
+
+    #[test]
+    fn streaming_ess_matches_two_pass_reference() {
+        let mut rng = SimRng::new(11);
+        for rho in [0.0, 0.5, 0.95] {
+            let mut x = 0.0;
+            let draws: Vec<f64> = (0..800)
+                .map(|_| {
+                    x = rho * x + rng.gaussian();
+                    x
+                })
+                .collect();
+            let got = effective_sample_size(&draws);
+            let want = reference_ess(&draws);
+            assert_eq!(got, want, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn ess_on_100k_sticky_chain_is_fast() {
+        // AR(1) with ρ=0.9995: thousands of positive lag pairs, which
+        // made the old O(n²) scan take minutes at this length. The
+        // capped streaming pass finishes in well under a second.
+        let mut rng = SimRng::new(12);
+        let mut x = 0.0;
+        let draws: Vec<f64> = (0..100_000)
+            .map(|_| {
+                x = 0.9995 * x + rng.gaussian();
+                x
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let ess = effective_sample_size(&draws);
+        assert!(
+            t0.elapsed().as_secs() < 30,
+            "capped ESS scan took {:?}",
+            t0.elapsed()
+        );
+        assert!(ess.is_finite() && ess >= 1.0, "ess={ess}");
+        assert!(
+            ess < 2_000.0,
+            "sticky chain should have tiny ess, got {ess}"
+        );
+    }
+
+    #[test]
+    fn split_rhat_truncates_mixed_length_chains() {
+        // Chains of length 100 and 40: every half must be truncated to
+        // the common minimum (20 draws) before computing statistics. The
+        // pre-fix code computed per-half stats at full length but used
+        // n = 20 in the B/W formulas, skewing both.
+        let mut rng = SimRng::new(13);
+        let a: Vec<f64> = (0..100).map(|_| rng.gaussian()).collect();
+        let b: Vec<f64> = (0..40).map(|_| 0.3 + rng.gaussian()).collect();
+
+        // Reference: Gelman–Rubin over the four truncated half chains.
+        let halves = [&a[..20], &a[50..70], &b[..20], &b[20..40]];
+        let stats: Vec<(f64, f64)> = halves
+            .iter()
+            .map(|h| {
+                let mu = h.iter().sum::<f64>() / 20.0;
+                let v = h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / 19.0;
+                (mu, v)
+            })
+            .collect();
+        let m = 4.0;
+        let n = 20.0;
+        let grand = stats.iter().map(|s| s.0).sum::<f64>() / m;
+        let bstat = n / (m - 1.0) * stats.iter().map(|s| (s.0 - grand).powi(2)).sum::<f64>();
+        let w = stats.iter().map(|s| s.1).sum::<f64>() / m;
+        let want = (((n - 1.0) / n * w + bstat / n) / w).sqrt();
+
+        let chains = [
+            chain_of(a.iter().map(|&x| vec![x]).collect()),
+            chain_of(b.iter().map(|&x| vec![x]).collect()),
+        ];
+        let got = split_r_hat(&chains, 0);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "got={got} want={want} (halves must be truncated before stats)"
+        );
+    }
+
+    #[test]
+    fn min_ess_zero_dim_chain_is_nan() {
+        let c = chain_of(vec![vec![]; 10]);
+        assert!(min_ess(&c).is_nan());
+    }
+
+    #[test]
+    fn max_rhat_degenerate_inputs_are_nan() {
+        // No chains at all.
+        assert!(max_r_hat(&[]).is_nan());
+        // Chains with zero coordinates.
+        assert!(max_r_hat(&[chain_of(vec![vec![]; 10])]).is_nan());
+        // Chains too short for any split: every coordinate R̂ is NaN.
+        let short = chain_of(vec![vec![1.0], vec![2.0]]);
+        assert!(max_r_hat(&[short]).is_nan());
     }
 
     #[test]

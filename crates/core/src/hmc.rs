@@ -52,6 +52,9 @@ pub struct Hmc<'a> {
     adapting: bool,
     accepted: u64,
     proposed: u64,
+    divergences: u64,
+    /// Likelihood eval+grad pairs computed (one per leapfrog step).
+    evals: u64,
     // Scratch buffers.
     scratch_p: Vec<f64>,
     scratch_grad_p: Vec<f64>,
@@ -81,6 +84,8 @@ impl<'a> Hmc<'a> {
             adapting: true,
             accepted: 0,
             proposed: 0,
+            divergences: 0,
+            evals: 0,
             scratch_p: vec![0.0; n],
             scratch_grad_p: vec![0.0; n],
         };
@@ -118,6 +123,7 @@ impl<'a> Hmc<'a> {
     /// Log posterior and its θ-gradient at `theta`.
     fn log_post_and_grad(&mut self, theta: &[f64]) -> (f64, Vec<f64>) {
         let n = theta.len();
+        self.evals += 1;
         for (pi, &ti) in self.scratch_p.iter_mut().zip(theta) {
             *pi = sigmoid(ti);
         }
@@ -205,6 +211,7 @@ impl Sampler for Hmc<'_> {
             // Divergent trajectory: reject, feed zero acceptance into the
             // adaptation so the step size shrinks.
             self.proposed += 1;
+            self.divergences += 1;
             if self.adapting {
                 self.dual_average(0.0);
             }
@@ -232,6 +239,19 @@ impl Sampler for Hmc<'_> {
 
     fn kind(&self) -> SamplerKind {
         SamplerKind::Hmc
+    }
+
+    fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    fn likelihood_evals(&self) -> u64 {
+        self.evals
+    }
+
+    fn grad_evals(&self) -> u64 {
+        // eval and grad always run as a pair in `log_post_and_grad`.
+        self.evals
     }
 }
 

@@ -154,6 +154,11 @@ impl Sampler for MetropolisHastings<'_> {
     fn kind(&self) -> SamplerKind {
         SamplerKind::MetropolisHastings
     }
+
+    fn likelihood_evals(&self) -> u64 {
+        // Exactly one incremental delta evaluation per proposal.
+        self.proposed
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ mod common;
 
 fn main() {
     common::banner("Appendix B: RFD default parameters");
+    let reporter = common::Reporter::new("appendix_b_defaults");
     let profiles = [
         VendorProfile::Cisco,
         VendorProfile::Juniper,
@@ -80,4 +81,5 @@ fn main() {
         )
     );
     println!("(paper: Cisco ≈ 8 min, Juniper ≈ 9 min, recommended ≈ 2 min)");
+    reporter.emit();
 }

@@ -8,6 +8,15 @@
 //! * `REPRO_SCALE` — `tiny` | `small` | `paper` (default `small`):
 //!   topology size and campaign length. `paper` approaches the real
 //!   study's scale and takes correspondingly longer.
+//!
+//! Every binary also understands the observability flags:
+//!
+//! * `--report-json <path>` (or `--report-json=<path>`, or the
+//!   `REPRO_REPORT_JSON` environment variable) — write the run report
+//!   as JSON to `path`;
+//! * `--report` — print the run report as text to stdout after the
+//!   figure/table output (kept off the default path so existing output
+//!   stays byte-for-byte diffable).
 
 use because::chain::ChainConfig;
 use because::{AnalysisConfig, Prior};
@@ -104,4 +113,82 @@ pub fn banner(what: &str) {
     println!("== {what} ==");
     println!("scale={} seed={}", scale(), seed());
     println!();
+}
+
+/// The `--report-json` destination, if any: `--report-json <path>`,
+/// `--report-json=<path>`, or the `REPRO_REPORT_JSON` variable.
+pub fn report_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--report-json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--report-json=") {
+            return Some(std::path::PathBuf::from(path));
+        }
+    }
+    std::env::var("REPRO_REPORT_JSON")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// True when `--report` was passed: print the text report to stdout.
+pub fn report_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--report")
+}
+
+/// Collects a binary's run report and emits it on request.
+///
+/// Construct after the banner, merge in whatever the run produced
+/// (campaign reports, analysis sections), and call [`Reporter::emit`] as
+/// the last statement of `main`. The total wall-clock of the binary is
+/// recorded automatically as `main.total_secs`.
+pub struct Reporter {
+    report: obs::RunReport,
+    started: obs::Stopwatch,
+}
+
+impl Reporter {
+    /// A reporter for the named binary.
+    pub fn new(name: &str) -> Reporter {
+        Reporter {
+            report: obs::RunReport::new(name),
+            started: obs::Stopwatch::start(),
+        }
+    }
+
+    /// The report under construction, for direct section access.
+    pub fn report_mut(&mut self) -> &mut obs::RunReport {
+        &mut self.report
+    }
+
+    /// Merge another report's sections (e.g. a campaign's).
+    pub fn merge(&mut self, other: obs::RunReport) {
+        self.report.merge(other);
+    }
+
+    /// Merge with a prefix on every section name — for binaries that run
+    /// several campaigns (`"interval_1.netsim.queue"`, …).
+    pub fn merge_prefixed(&mut self, other: obs::RunReport, prefix: &str) {
+        self.report.merge_prefixed(other, prefix);
+    }
+
+    /// Record the total runtime, then write JSON and/or print text as
+    /// requested. Silent (stderr note aside) on the default path.
+    pub fn emit(mut self) {
+        self.report
+            .section("main")
+            .span_secs("total_secs", self.started.elapsed_secs());
+        if let Some(path) = report_json_path() {
+            match self.report.write_json(&path) {
+                Ok(()) => eprintln!("report written to {}", path.display()),
+                Err(e) => eprintln!("failed to write report {}: {e}", path.display()),
+            }
+        }
+        if report_requested() {
+            println!();
+            print!("{}", self.report.to_text());
+        }
+    }
 }

@@ -15,6 +15,7 @@ mod common;
 
 fn main() {
     common::banner("Figure 2: RFD penalty trace (Cisco defaults)");
+    let reporter = common::Reporter::new("fig02_penalty_trace");
     let params = VendorProfile::Cisco.params();
     let mut state = RfdState::new();
 
@@ -81,4 +82,5 @@ fn main() {
             params.max_suppress_time.as_mins_f64()
         );
     }
+    reporter.emit();
 }

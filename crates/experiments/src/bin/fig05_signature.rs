@@ -16,6 +16,7 @@ mod common;
 
 fn main() {
     common::banner("Figure 5: Beacon pattern and RFD signature");
+    let mut reporter = common::Reporter::new("fig05_signature");
 
     // Topology: beacon AS 65000 → AS 10 → {AS 21 (damps), AS 22 (clean)} → VPs 31/32.
     let mut net = Network::new(NetworkConfig {
@@ -86,6 +87,9 @@ fn main() {
         println!();
     }
 
+    net.export_obs(reporter.report_mut());
+    reporter.report_mut().push_section(dump.obs_section());
+
     let labels = label_dump(&dump, &schedule, &LabelingConfig::default());
     println!("path labels:");
     for l in &labels {
@@ -103,4 +107,8 @@ fn main() {
             fmt(l.mean_break_delta_mins())
         );
     }
+    reporter
+        .report_mut()
+        .push_section(signature::obs_section(&labels));
+    reporter.emit();
 }

@@ -17,8 +17,10 @@ mod common;
 
 fn main() {
     common::banner("Figure 6: link similarity between beacon sites");
+    let mut reporter = common::Reporter::new("fig06_link_similarity");
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
 
     let mut site_prefixes: BTreeMap<bgpsim::AsId, Vec<Prefix>> = BTreeMap::new();
     for sc in &out.campaign.sites {
@@ -72,4 +74,5 @@ fn main() {
         "total links observed: {}",
         experiments::coverage::observed_links(&out.dump, &all_prefixes).len()
     );
+    reporter.emit();
 }

@@ -13,7 +13,9 @@ mod common;
 
 fn main() {
     common::banner("Figure 7: overlap of gathered data per collector project");
+    let mut reporter = common::Reporter::new("fig07_project_overlap");
     let out = run_campaign(&common::experiment(1, common::seed()));
+    reporter.merge(out.report.clone());
 
     let obs = project_observations(&out.dump);
     let shares = project_exclusive_shares(&out.dump);
@@ -37,4 +39,5 @@ fn main() {
         )
     );
     println!("(an exclusive share > 0 for every project = each adds data)");
+    reporter.emit();
 }

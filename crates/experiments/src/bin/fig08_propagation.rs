@@ -16,7 +16,9 @@ mod common;
 
 fn main() {
     common::banner("Figure 8: propagation time CDFs");
+    let mut reporter = common::Reporter::new("fig08_propagation");
     let out = run_campaign(&common::experiment(1, common::seed()));
+    reporter.merge(out.report.clone());
 
     let anchors: Vec<bgpsim::Prefix> = out.campaign.sites.iter().map(|s| s.anchor.prefix).collect();
     let beacons: Vec<bgpsim::Prefix> = out.campaign.beacon_schedules().map(|b| b.prefix).collect();
@@ -56,4 +58,5 @@ fn main() {
             );
         }
     }
+    reporter.emit();
 }

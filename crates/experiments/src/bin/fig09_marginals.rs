@@ -48,14 +48,17 @@ fn print_marginal(title: &str, draws: &[f64]) {
 
 fn main() {
     common::banner("Figure 9: archetypal marginal posteriors");
+    let mut reporter = common::Reporter::new("fig09_marginals");
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
     let analysis = &inf.analysis;
+    analysis.export_obs(reporter.report_mut());
     let pooled = Chain::pooled(&analysis.hmc_chains);
 
     // Select archetypes from the reports.
@@ -92,4 +95,5 @@ fn main() {
             None => println!("--- {title}: no example in this run ---\n"),
         }
     }
+    reporter.emit();
 }

@@ -12,8 +12,10 @@ mod common;
 
 fn main() {
     common::banner("Figure 10: announcement distribution across a Burst");
+    let mut reporter = common::Reporter::new("fig10_burst_hist");
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
     let schedule = out.campaign.sites[0].beacons[0].clone();
 
     // Pick a damping AS that is on labeled RFD paths and a clean AS.
@@ -79,4 +81,5 @@ fn main() {
         }
         println!();
     }
+    reporter.emit();
 }

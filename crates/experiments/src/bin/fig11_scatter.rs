@@ -15,13 +15,16 @@ mod common;
 
 fn main() {
     common::banner("Figure 11: mean vs certainty scatter (1-minute interval)");
+    let mut reporter = common::Reporter::new("fig11_scatter");
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
+    inf.analysis.export_obs(reporter.report_mut());
 
     println!("as\tmean\tcertainty\tcategory\tinconsistent");
     for r in &inf.analysis.reports {
@@ -69,4 +72,5 @@ fn main() {
         "\ncategory counts: C1={} C2={} C3={} C4={} C5={}",
         counts[0], counts[1], counts[2], counts[3], counts[4]
     );
+    reporter.emit();
 }

@@ -24,6 +24,7 @@ mod common;
 
 fn main() {
     common::banner("Figure 12: share of damping ASs per update interval");
+    let mut reporter = common::Reporter::new("fig12_interval_share");
     let seed = common::seed();
     let intervals = [1u64, 2, 3, 5, 10, 15];
 
@@ -56,6 +57,7 @@ fn main() {
             .map(|r| AsId(r.id.0))
             .collect();
         per_interval.push((mins, consistent, with_inconsistent));
+        reporter.merge_prefixed(out.report.clone(), &format!("interval_{mins}"));
         eprintln!(
             "  interval {mins} min done ({} labeled paths)",
             out.labels.len()
@@ -83,4 +85,5 @@ fn main() {
         "{}",
         report::table(&["interval", "consistent", "incl. inconsistent", ""], &rows)
     );
+    reporter.emit();
 }

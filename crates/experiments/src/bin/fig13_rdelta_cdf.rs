@@ -18,6 +18,7 @@ mod common;
 
 fn main() {
     common::banner("Figure 13: CDF of mean r-delta per damped path");
+    let mut reporter = common::Reporter::new("fig13_rdelta_cdf");
     let seed = common::seed();
 
     for mins in [1u64, 3] {
@@ -27,6 +28,7 @@ fn main() {
         cfg.deployment.rfd_share = (cfg.deployment.rfd_share * 1.8).min(0.3);
         cfg.deployment.max_suppress_mix = vec![(10, 1.0), (30, 1.0), (60, 1.0)];
         let out = run_campaign(&cfg);
+        reporter.merge_prefixed(out.report.clone(), &format!("interval_{mins}"));
         let means: Vec<f64> = out
             .labels
             .iter()
@@ -65,4 +67,5 @@ fn main() {
         println!();
     }
     println!("(expected: clear plateaus at 1 min, washed out at 3 min)");
+    reporter.emit();
 }

@@ -17,13 +17,16 @@ mod common;
 
 fn main() {
     common::banner("Table 2: category totals and shares (1-minute interval)");
+    let mut reporter = common::Reporter::new("table2_categories");
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
+    inf.analysis.export_obs(reporter.report_mut());
 
     let counts = inf.analysis.category_counts();
     let shares = inf.analysis.category_shares();
@@ -59,4 +62,5 @@ fn main() {
                 / inf.analysis.reports.len().max(1) as f64
         )
     );
+    reporter.emit();
 }

@@ -116,6 +116,7 @@ fn run_case(
 
 fn main() {
     common::banner("Table 3: divergence micro-scenarios");
+    let reporter = common::Reporter::new("table3_divergence");
     let cisco = VendorProfile::Cisco.params();
     let cust = SessionPolicy::plain(Relationship::Customer);
     let prov = SessionPolicy::plain(Relationship::Provider);
@@ -258,4 +259,5 @@ fn main() {
             &table_rows
         )
     );
+    reporter.emit();
 }

@@ -19,15 +19,18 @@ mod common;
 
 fn main() {
     common::banner("Table 4: precision / recall on oracle ground truth");
+    let mut reporter = common::Reporter::new("table4_precision_recall");
     let seed = common::seed();
 
     // --- RFD ------------------------------------------------------------
     let out = run_campaign(&common::experiment(1, seed));
+    reporter.merge(out.report.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
+    inf.analysis.export_obs(reporter.report_mut());
     let interval = SimDuration::from_mins(1);
     let because_eval = evaluate_against_oracle(&out, &inf.because_flagged(), interval);
     let heuristics_eval = evaluate_against_oracle(&out, &inf.heuristics_flagged(), interval);
@@ -76,4 +79,5 @@ fn main() {
         report::pct(scenario.rov_share())
     );
     println!("(paper: RFD 100/87 vs 97/80; ROV 100/64 — shape, not absolutes)");
+    reporter.emit();
 }

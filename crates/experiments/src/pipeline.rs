@@ -93,6 +93,9 @@ pub struct CampaignOutput {
     pub events_processed: u64,
     /// Simulator statistics: BGP updates delivered.
     pub updates_delivered: u64,
+    /// Observability report: pipeline phase timings plus per-subsystem
+    /// metric sections (queue, network, collector, labels).
+    pub report: obs::RunReport,
 }
 
 impl CampaignOutput {
@@ -112,9 +115,17 @@ impl CampaignOutput {
 
 /// Run the full measurement pipeline.
 pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
+    let mut spans = obs::SpanSet::new();
+    let topo_span = spans.register("topology_secs");
+    let sim_span = spans.register("simulate_secs");
+    let collect_span = spans.register("collect_secs");
+    let label_span = spans.register("label_secs");
+
     // 1. Topology + deployment.
+    let guard = spans.enter(topo_span);
     let topology = generate(&config.topology);
     let deployment = Deployment::assign(&topology, &config.deployment);
+    drop(guard);
 
     // 2. Network with the deployment's session policies and realistic
     //    per-hop processing delays (Fig. 8's seconds-scale propagation).
@@ -136,21 +147,34 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
 
     // 4. Run to quiescence (the queue drains once all RFD reuse timers
     //    past the last break have fired).
+    let guard = spans.enter(sim_span);
     net.run_to_quiescence();
+    drop(guard);
     let events_processed = net.events_processed();
     let updates_delivered = net.delivered();
 
     // 5. Collector processing.
+    let guard = spans.enter(collect_span);
     let taps = net.take_tap_log();
     let collectors = CollectorSet::assign(&topology.vantage_points, config.seed);
     let horizon = campaign.end();
     let dump = collectors.process(&taps, &config.collector, horizon);
+    drop(guard);
 
     // 6. Signature detection per beacon prefix.
+    let guard = spans.enter(label_span);
     let mut labels = Vec::new();
     for schedule in campaign.beacon_schedules() {
         labels.extend(label_dump(&dump, schedule, &config.labeling));
     }
+    drop(guard);
+
+    // 7. Assemble the run report from every subsystem.
+    let mut report = obs::RunReport::new("campaign");
+    spans.export_into(report.section("pipeline"));
+    net.export_obs(&mut report);
+    report.push_section(dump.obs_section());
+    report.push_section(signature::obs_section(&labels));
 
     CampaignOutput {
         topology,
@@ -160,6 +184,7 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
         labels,
         events_processed,
         updates_delivered,
+        report,
     }
 }
 

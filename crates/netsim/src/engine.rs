@@ -62,6 +62,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     popped: u64,
+    depth_hwm: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +79,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -101,6 +103,22 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// The deepest the queue has ever been (a memory-pressure metric).
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_hwm
+    }
+
+    /// Snapshot the queue's metrics into a report section.
+    pub fn obs_section(&self, name: &str) -> obs::Section {
+        let mut section = obs::Section::new(name);
+        section
+            .counter("events_processed", self.popped)
+            .counter("depth_high_water", self.depth_hwm as u64)
+            .counter("pending", self.heap.len() as u64)
+            .gauge("now_secs", self.now.as_secs_f64());
+        section
+    }
+
     /// Schedule `event` to fire at absolute time `at`.
     ///
     /// Panics in debug builds if `at` is before the current clock; clamps to
@@ -115,6 +133,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { time, seq, event });
+        if self.heap.len() > self.depth_hwm {
+            self.depth_hwm = self.heap.len();
+        }
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
@@ -239,5 +260,45 @@ mod tests {
         q.pop();
         q.schedule_at(SimTime::from_secs(1), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn clamped_event_pops_after_same_time_events() {
+        // A past event clamps to `now`, which can collide with events
+        // legitimately scheduled for `now` *before* the clamp happened.
+        // The FIFO tie-break must still apply: the clamped event pops
+        // last, not in timestamp-of-origin order.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "advance");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(10), "first");
+        q.schedule_at(SimTime::from_secs(10), "second");
+        q.schedule_at(SimTime::from_secs(1), "clamped");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second", "clamped"]);
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_not_current() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule_at(SimTime::from_secs(i + 1), i);
+        }
+        assert_eq!(q.depth_high_water(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.depth_high_water(), 5, "high water must not recede");
+        let section = q.obs_section("netsim.queue");
+        assert_eq!(
+            section.get("depth_high_water"),
+            Some(&obs::Value::Counter(5))
+        );
+        assert_eq!(
+            section.get("events_processed"),
+            Some(&obs::Value::Counter(2))
+        );
     }
 }

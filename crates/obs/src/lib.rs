@@ -1,0 +1,45 @@
+//! # obs — observability primitives for the simulator and sampler stack
+//!
+//! The pipeline (event loop → BGP → collector → signature → MCMC) is a
+//! long chain of hot loops; this crate gives every layer a uniform,
+//! near-zero-cost way to report what it actually did:
+//!
+//! * [`Counter`], [`Gauge`], [`HighWater`], [`Histogram`] — plain-cell
+//!   metrics a subsystem *embeds* in its own struct. Recording is a field
+//!   update (no allocation, no atomics, no locks), so they are safe to
+//!   touch from the tightest loops (`EventQueue::pop`, MH sweeps).
+//! * [`Registry`] — a pre-registered, named metric table backed by
+//!   relaxed `AtomicU64` cells, for the one case plain cells cannot
+//!   serve: several threads sharing a sink. Handles ([`CounterId`] etc.)
+//!   are plain indices obtained up front; the hot path never hashes a
+//!   name or takes a lock.
+//! * [`SpanSet`] / [`SpanGuard`] — RAII wall-clock span timers for
+//!   phase accounting (warmup vs sampling, simulate vs label).
+//! * [`RunReport`] / [`Section`] — the snapshot form: what every
+//!   `fig*`/`table*` binary prints with `--report` or dumps with
+//!   `--report-json <path>`. Text and JSON rendering are hand-rolled
+//!   (the in-tree serde is a marker shim).
+//!
+//! ## Naming conventions
+//!
+//! Sections are `"<crate>.<component>"` (`"netsim.queue"`,
+//! `"because.hmc"`). Metric names are `lower_snake`, with units as a
+//! suffix (`*_secs`, `*_mins`) and fixed label values joined with a dot
+//! (`"rfd_suppressions.cisco"`).
+//!
+//! ## Overhead budget
+//!
+//! Instrumentation wired into hot paths must stay within **2 %** of the
+//! uninstrumented throughput on the `mh_sweep` and `event_queue`
+//! benchmarks (see `BENCH_0002_obs_overhead.json` at the repo root and
+//! the `obs_overhead` bench for the per-primitive costs).
+
+mod metrics;
+mod registry;
+mod report;
+mod span;
+
+pub use metrics::{Counter, Gauge, HighWater, Histogram};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use report::{Entry, HistogramSnapshot, RunReport, Section, Value};
+pub use span::{SpanGuard, SpanId, SpanSet, Stopwatch};

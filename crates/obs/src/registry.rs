@@ -1,0 +1,202 @@
+//! A lock-cheap named-metric registry for thread-shared sinks.
+//!
+//! Metrics are registered up front (requires `&mut self`), yielding plain
+//! index handles; recording takes `&self` and is a single relaxed atomic
+//! operation, so one registry can be shared across scoped threads without
+//! a mutex. Use this only where threads genuinely share a sink — for
+//! single-owner hot loops the plain cells in [`crate::metrics`] are
+//! cheaper still.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::Histogram;
+use crate::report::Section;
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+struct AtomicHistogram {
+    bounds: Box<[f64]>,
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of samples as `f64` bit patterns, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A registry of named atomic metrics.
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<(String, AtomicU64)>,
+    gauges: Vec<(String, AtomicU64)>,
+    histograms: Vec<(String, AtomicHistogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a counter, returning its handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push((name.to_string(), AtomicU64::new(0)));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge, returning its handle.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges
+            .push((name.to_string(), AtomicU64::new(0f64.to_bits())));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a fixed-bucket histogram, returning its handle.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        // Validate bounds through the plain histogram's constructor.
+        let n_buckets = Histogram::new(bounds).counts().len();
+        let counts: Vec<AtomicU64> = (0..n_buckets).map(|_| AtomicU64::new(0)).collect();
+        self.histograms.push((
+            name.to_string(),
+            AtomicHistogram {
+                bounds: bounds.into(),
+                counts: counts.into(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            },
+        ));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Add one to a counter.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counters[id.0].1.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite a gauge (last writer wins).
+    #[inline]
+    pub fn set(&self, id: GaugeId, v: f64) {
+        self.gauges[id.0].1.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        f64::from_bits(self.gauges[id.0].1.load(Ordering::Relaxed))
+    }
+
+    /// Record one sample into a histogram.
+    #[inline]
+    pub fn record(&self, id: HistogramId, v: f64) {
+        let h = &self.histograms[id.0].1;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.counts[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Snapshot every metric into a report section.
+    pub fn to_section(&self, name: &str) -> Section {
+        let mut section = Section::new(name);
+        for (metric, cell) in &self.counters {
+            section.counter(metric, cell.load(Ordering::Relaxed));
+        }
+        for (metric, cell) in &self.gauges {
+            section.gauge(metric, f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (metric, h) in &self.histograms {
+            // Atomic histograms track buckets, count, and sum; per-sample
+            // min/max would need extra CAS traffic, so they stay NaN here.
+            let snap = crate::HistogramSnapshot {
+                bounds: h.bounds.to_vec(),
+                counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                count: h.count.load(Ordering::Relaxed),
+                sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+            section.histogram_snapshot(metric, snap);
+        }
+        section
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_handles_record() {
+        let mut reg = Registry::new();
+        let c = reg.counter("events");
+        let g = reg.gauge("depth");
+        let h = reg.histogram("delay", &[1.0, 10.0]);
+        reg.inc(c);
+        reg.add(c, 2);
+        reg.set(g, 4.5);
+        reg.record(h, 0.5);
+        reg.record(h, 99.0);
+        assert_eq!(reg.counter_value(c), 3);
+        assert_eq!(reg.gauge_value(g), 4.5);
+        let section = reg.to_section("test");
+        assert_eq!(section.entries.len(), 3);
+    }
+
+    #[test]
+    fn shared_across_threads_loses_nothing() {
+        let mut reg = Registry::new();
+        let c = reg.counter("hits");
+        let h = reg.histogram("vals", &[0.5]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        reg.inc(c);
+                        reg.record(h, (i % 2) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value(c), 40_000);
+        let section = reg.to_section("t");
+        let total: u64 = match &section.entries[1].value {
+            crate::Value::Histogram(s) => s.counts.iter().sum(),
+            other => panic!("expected histogram, got {other:?}"),
+        };
+        assert_eq!(total, 40_000);
+    }
+}

@@ -171,6 +171,25 @@ pub fn label_dump(
     out
 }
 
+/// Snapshot a label set into a `signature.labels` report section:
+/// RFD/clean path counts and the r-delta distribution (minutes).
+pub fn obs_section(labels: &[LabeledPath]) -> obs::Section {
+    let mut section = obs::Section::new("signature.labels");
+    let rfd = labels.iter().filter(|l| l.rfd).count();
+    section.counter("paths_rfd", rfd as u64);
+    section.counter("paths_clean", (labels.len() - rfd) as u64);
+    // Bounds straddle the 5-minute labeling threshold up to the RFD
+    // max-suppress ceiling (≈ 60 min plus reuse-timer slack).
+    let mut r_deltas = obs::Histogram::new(&[1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0]);
+    for l in labels {
+        for d in &l.r_deltas {
+            r_deltas.record(d.as_mins_f64());
+        }
+    }
+    section.histogram("r_delta_mins", &r_deltas);
+    section
+}
+
 /// Analyse every Burst–Break pair for one (vantage, prefix) record stream.
 pub fn pair_outcomes(
     records: &[&UpdateRecord],
@@ -487,6 +506,38 @@ mod tests {
         let labels = label(records, &s);
         assert_eq!(labels.len(), 1);
         assert_eq!(labels[0].pairs_total, 1);
+    }
+
+    #[test]
+    fn obs_section_counts_labels_and_buckets_rdeltas() {
+        let s = schedule();
+        let mut records = rfd_stream(&s);
+        let mut clean = non_rfd_stream(&s);
+        for r in clean.iter_mut() {
+            r.vantage = AsId(901);
+            if let Some(path) = &r.path {
+                let mut asns: Vec<AsId> = path.asns().to_vec();
+                asns[0] = AsId(901);
+                r.path = Some(AsPath::from_slice(&asns));
+            }
+        }
+        records.extend(clean);
+        records.sort_by_key(|r| r.exported_at);
+        let labels = label(records, &s);
+        assert_eq!(labels.len(), 2);
+
+        let section = obs_section(&labels);
+        assert_eq!(section.name, "signature.labels");
+        assert_eq!(section.get("paths_rfd"), Some(&obs::Value::Counter(1)));
+        assert_eq!(section.get("paths_clean"), Some(&obs::Value::Counter(1)));
+        match section.get("r_delta_mins") {
+            // Three ~40-minute r-deltas from the damped path.
+            Some(obs::Value::Histogram(h)) => {
+                assert_eq!(h.count, 3);
+                assert!(h.mean() > 30.0, "mean {} should be ≈ 40 min", h.mean());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test -p obs --no-default-features"
+cargo test -p obs --no-default-features -q
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
