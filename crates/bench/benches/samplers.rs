@@ -1,10 +1,10 @@
 //! MCMC kernels: MH sweeps vs HMC trajectories (the §3.2 comparison),
 //! plus the prior-sensitivity and step-count ablations from DESIGN.md.
 
-use because::chain::Sampler;
+use because::chain::{run_chain, run_chain_observed, ChainConfig, Sampler};
 use because::hmc::Hmc;
 use because::mh::MetropolisHastings;
-use because::Prior;
+use because::{Prior, TraceProgress};
 use bench::synthetic_paths;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::SimRng;
@@ -27,6 +27,47 @@ fn bench_mh_sweep(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The enabled-tracing A/B: a full MH chain run through the plain driver
+/// vs the observed driver with a `TraceProgress` recorder at the default
+/// cadence. The delta is the whole cost of per-k snapshots (Welford
+/// means + incremental split-R̂/min-ESS) plus the ring-buffer pushes.
+fn bench_chain_run_traced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mh_chain_run");
+    group.sample_size(10);
+    let data = synthetic_paths(50, 200, 0.2, 10);
+    let config = ChainConfig {
+        warmup: 100,
+        samples: 200,
+        thin: 1,
+    };
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(5);
+            let chain = run_chain(
+                MetropolisHastings::from_prior(&data, Prior::default(), &mut rng),
+                &config,
+                &mut rng,
+            );
+            black_box(chain.len())
+        })
+    });
+    group.bench_function("traced_every_50", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(5);
+            let mut observer = TraceProgress::new(50, 2048, std::time::Instant::now(), 0);
+            let chain = run_chain_observed(
+                MetropolisHastings::from_prior(&data, Prior::default(), &mut rng),
+                &config,
+                &mut rng,
+                0,
+                &mut observer,
+            );
+            black_box((chain.len(), observer.into_buffer().len()))
+        })
+    });
     group.finish();
 }
 
@@ -103,6 +144,6 @@ fn bench_prior_ablation(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mh_sweep, bench_hmc_trajectory, bench_hmc_leapfrog_ablation, bench_prior_ablation
+    targets = bench_mh_sweep, bench_chain_run_traced, bench_hmc_trajectory, bench_hmc_leapfrog_ablation, bench_prior_ablation
 );
 criterion_main!(benches);

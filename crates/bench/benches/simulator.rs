@@ -98,6 +98,33 @@ fn bench_burst(c: &mut Criterion) {
             black_box(net.events_processed())
         })
     });
+    // The enabled-tracing A/B: same burst with the RFD/MRAI trace sink
+    // attached (no RFD sessions here, so this prices the per-dispatch
+    // branch plus MRAI counter pushes, not the damping bookkeeping).
+    group.bench_function("one_2h_burst_1min_traced", |b| {
+        b.iter(|| {
+            let mut net = topo.instantiate(
+                NetworkConfig {
+                    jitter: 0.3,
+                    seed: 6,
+                    ..Default::default()
+                },
+                |_, _, pol| pol,
+            );
+            net.set_trace(obs::TraceBuffer::new(1 << 16));
+            let schedule = beacon::BeaconSchedule::standard(
+                pfx,
+                site,
+                netsim::SimDuration::from_mins(1),
+                netsim::SimDuration::from_hours(2),
+                SimTime::ZERO,
+                1,
+            );
+            schedule.apply(&mut net);
+            net.run_to_quiescence();
+            black_box((net.events_processed(), net.take_trace().map(|t| t.len())))
+        })
+    });
     group.finish();
 }
 

@@ -168,6 +168,13 @@ pub struct Network {
     link_horizon: BTreeMap<(AsId, AsId), SimTime>,
     delivered: u64,
     stats: NetStats,
+    /// Optional event trace. `None` (the default) costs one branch per
+    /// dispatch; see DESIGN.md §5d.
+    trace: Option<obs::TraceBuffer>,
+    /// Interned sim-time lane per damped (router, peer, prefix) session.
+    rfd_lanes: BTreeMap<(AsId, AsId, Prefix), obs::Lane>,
+    /// Interned sim-time lane per router for MRAI deferral instants.
+    mrai_lanes: BTreeMap<AsId, obs::Lane>,
 }
 
 impl Network {
@@ -185,7 +192,28 @@ impl Network {
             link_horizon: BTreeMap::new(),
             delivered: 0,
             stats: NetStats::default(),
+            trace: None,
+            rfd_lanes: BTreeMap::new(),
+            mrai_lanes: BTreeMap::new(),
         }
+    }
+
+    /// Attach an event trace. RFD state-machine transitions (suppress,
+    /// release, penalty samples, delayed re-advertisements) and MRAI
+    /// deferrals are recorded on sim-time lanes — one lane per damped
+    /// (router, peer, prefix) session, one per deferring router.
+    pub fn set_trace(&mut self, trace: obs::TraceBuffer) {
+        self.trace = Some(trace);
+    }
+
+    /// Detach and return the trace, if one was attached.
+    pub fn take_trace(&mut self) -> Option<obs::TraceBuffer> {
+        self.trace.take()
+    }
+
+    /// Read-only view of the attached trace.
+    pub fn trace(&self) -> Option<&obs::TraceBuffer> {
+        self.trace.as_ref()
     }
 
     /// Add a router for `asn` (no-op if it exists).
@@ -285,6 +313,9 @@ impl Network {
             section
                 .counter(&format!("rfd_suppressions.{name}"), profile.suppressions)
                 .counter(&format!("rfd_releases.{name}"), profile.releases);
+        }
+        if let Some(trace) = &self.trace {
+            trace.export_into(report.section("bgpsim.trace"));
         }
     }
 
@@ -394,6 +425,9 @@ impl Network {
         };
 
         self.stats.mrai_deferrals += u64::from(output.mrai_deferrals);
+        if self.trace.is_some() {
+            self.trace_output(now, router_id, rfd_session, &output);
+        }
         if output.rfd_suppressed || output.rfd_released {
             let name = rfd_session
                 .and_then(|(peer, prefix)| {
@@ -452,6 +486,72 @@ impl Network {
                     prefix: change.prefix,
                     route: change.route,
                 });
+            }
+        }
+    }
+
+    /// Record one dispatch's RFD/MRAI activity into the attached trace.
+    /// Only called when a trace is attached, so the untraced dispatch
+    /// path pays exactly one branch.
+    fn trace_output(
+        &mut self,
+        now: SimTime,
+        router_id: AsId,
+        rfd_session: Option<(AsId, Prefix)>,
+        output: &crate::router::RouterOutput,
+    ) {
+        let trace = self.trace.as_mut().expect("caller checked");
+        let now_ms = now.as_millis();
+        if output.mrai_deferrals > 0 {
+            let next = self.mrai_lanes.len() as u32;
+            let lane = *self.mrai_lanes.entry(router_id).or_insert_with(|| {
+                let lane = obs::Lane::pair(1, next);
+                trace.set_lane_name(lane, &format!("mrai {router_id}"));
+                lane
+            });
+            trace.counter_sim(
+                "mrai_deferrals",
+                lane,
+                now_ms,
+                f64::from(output.mrai_deferrals),
+            );
+        }
+        let Some((peer, prefix)) = rfd_session else {
+            return;
+        };
+        // Only damped sessions get a lane; `rfd_penalty` is `None` when
+        // the session has no RFD configured.
+        let Some(penalty) = self
+            .routers
+            .get(&router_id)
+            .and_then(|r| r.rfd_penalty(peer, prefix, now))
+        else {
+            return;
+        };
+        let next = self.rfd_lanes.len() as u32;
+        let lane = *self
+            .rfd_lanes
+            .entry((router_id, peer, prefix))
+            .or_insert_with(|| {
+                let lane = obs::Lane::pair(2, next);
+                trace.set_lane_name(lane, &format!("rfd {router_id}<-{peer} {prefix}"));
+                lane
+            });
+        trace.counter_sim("penalty", lane, now_ms, penalty);
+        if output.rfd_suppressed {
+            trace.begin_sim("suppressed", lane, now_ms);
+        }
+        if output.rfd_released {
+            trace.end_sim("suppressed", lane, now_ms);
+            let usable_again = output
+                .loc_rib_change
+                .as_ref()
+                .is_some_and(|c| c.route.is_some());
+            if usable_again {
+                // The paper's Fig. 2 signature: the re-advertisement the
+                // damper delayed until the penalty decayed under reuse
+                // (the actual send may still sit behind an MRAI gate).
+                trace.instant_sim("readvertise", lane, now_ms);
             }
         }
     }
@@ -724,6 +824,90 @@ mod tests {
             "per-profile counters exported"
         );
         assert!(report.get("netsim.queue").is_some());
+    }
+
+    #[test]
+    fn trace_records_suppress_release_span_and_readvertisement() {
+        // Same damped chain as `rfd_on_middle_as_damps_the_chain`, with a
+        // trace attached: the suppress→release sim-time gap must land in
+        // the (5 min, max-suppress + slack] window the RFD signature
+        // requires, and the delayed re-advertisement must be marked.
+        let mut net = Network::new(cfg());
+        net.connect(
+            AsId(10),
+            AsId(20),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer),
+            None,
+        );
+        net.connect(
+            AsId(20),
+            AsId(30),
+            SessionPolicy::plain(Relationship::Provider),
+            SessionPolicy::plain(Relationship::Customer).with_rfd(VendorProfile::Cisco.params()),
+            None,
+        );
+        net.set_trace(obs::TraceBuffer::new(4096));
+        for i in 0..120u64 {
+            if i % 2 == 0 {
+                net.schedule_withdraw(SimTime::from_mins(i), AsId(10), pfx());
+            } else {
+                net.schedule_announce(SimTime::from_mins(i), AsId(10), pfx(), true);
+            }
+        }
+        net.run_to_quiescence();
+
+        let trace = net.take_trace().expect("trace attached");
+        assert_eq!(trace.dropped(), 0, "4096 events is plenty here");
+        let at = |name: &str, kind: obs::TraceKind| -> Vec<u64> {
+            trace
+                .events()
+                .filter(|e| e.name == name && e.kind == kind)
+                .map(|e| match e.time {
+                    obs::TraceTime::Sim(ms) => ms,
+                    other => panic!("sim lanes only, got {other:?}"),
+                })
+                .collect()
+        };
+        let begins = at("suppressed", obs::TraceKind::Begin);
+        let ends = at("suppressed", obs::TraceKind::End);
+        assert_eq!(begins.len(), 1, "one suppression in this burst");
+        assert_eq!(ends.len(), 1);
+        let gap = SimTime::from_millis(ends[0]).saturating_since(SimTime::from_millis(begins[0]));
+        assert!(
+            gap > SimDuration::from_mins(5),
+            "r-delta signature, got {gap}"
+        );
+        // Continued flapping extends the span, but the release can trail
+        // the *last* flap (burst end, minute 119) by at most the
+        // max-suppress plateau.
+        let burst_end = SimTime::from_mins(119);
+        let r_delta = SimTime::from_millis(ends[0]).saturating_since(burst_end);
+        assert!(
+            r_delta <= VendorProfile::Cisco.params().max_suppress_time + SimDuration::from_mins(1),
+            "release within max-suppress of burst end, got {r_delta}"
+        );
+        assert_eq!(at("readvertise", obs::TraceKind::Instant).len(), 1);
+        assert!(
+            !at("penalty", obs::TraceKind::Counter).is_empty(),
+            "penalty samples on the damped lane"
+        );
+        // The damped session got a named lane.
+        let lane = trace
+            .events()
+            .find(|e| e.name == "suppressed")
+            .map(|e| e.lane)
+            .unwrap();
+        assert_eq!(trace.lane_name(lane), Some("rfd AS30<-AS20 10.0.7.0/24"));
+    }
+
+    #[test]
+    fn untraced_network_keeps_no_trace() {
+        let mut net = line();
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.run_to_quiescence();
+        assert!(net.trace().is_none());
+        assert!(net.take_trace().is_none());
     }
 
     #[test]

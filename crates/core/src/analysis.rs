@@ -11,13 +11,16 @@ use serde::{Deserialize, Serialize};
 use netsim::SimRng;
 
 use crate::category::Category;
-use crate::chain::{run_chains, Chain, ChainConfig};
+use crate::chain::{run_chains_observed, Chain, ChainConfig};
 use crate::diagnostics;
 use crate::hmc::Hmc;
 use crate::mh::MetropolisHastings;
 use crate::model::{NodeId, PathData};
 use crate::pinpoint::{apply_pinpoint, pinpoint_inconsistent};
 use crate::prior::Prior;
+use crate::progress::{
+    ChainPhase, ProgressObserver, ProgressSnapshot, StderrTicker, TraceProgress,
+};
 use crate::summary::Marginal;
 
 /// Pipeline configuration.
@@ -37,6 +40,13 @@ pub struct AnalysisConfig {
     pub hpdi_level: f64,
     /// Master seed.
     pub seed: u64,
+    /// Streaming-progress cadence in iterations: every `progress_every`
+    /// iterations each chain prints a stderr ticker line (accept rate,
+    /// incremental split-R̂/min-ESS). `0` (default) disables the ticker.
+    pub progress_every: usize,
+    /// Record chain phases and per-snapshot convergence counters into a
+    /// trace buffer, surfaced as [`Analysis::trace`].
+    pub trace: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -49,6 +59,8 @@ impl Default for AnalysisConfig {
             run_hmc: true,
             hpdi_level: 0.95,
             seed: 0,
+            progress_every: 0,
+            trace: false,
         }
     }
 }
@@ -131,6 +143,57 @@ pub struct Analysis {
     pub mh_secs: f64,
     /// Wall-clock spent running HMC chains (0 if HMC did not run).
     pub hmc_secs: f64,
+    /// Merged per-chain progress trace (lanes: MH chains, then HMC
+    /// chains), when [`AnalysisConfig::trace`] was set.
+    pub trace: Option<obs::TraceBuffer>,
+}
+
+/// Per-chain observer combining the optional stderr ticker and the
+/// optional trace recorder under one cadence.
+struct RunObserver {
+    ticker: Option<StderrTicker>,
+    trace: Option<TraceProgress>,
+}
+
+impl ProgressObserver for RunObserver {
+    fn every(&self) -> usize {
+        match (&self.ticker, &self.trace) {
+            (Some(t), _) => t.every(),
+            (None, Some(t)) => t.every(),
+            (None, None) => 0,
+        }
+    }
+
+    fn observe(&mut self, snap: &ProgressSnapshot) {
+        if let Some(t) = &mut self.ticker {
+            t.observe(snap);
+        }
+        if let Some(t) = &mut self.trace {
+            t.observe(snap);
+        }
+    }
+
+    fn begin_phase(
+        &mut self,
+        chain_index: usize,
+        kind: crate::chain::SamplerKind,
+        phase: ChainPhase,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.begin_phase(chain_index, kind, phase);
+        }
+    }
+
+    fn end_phase(
+        &mut self,
+        chain_index: usize,
+        kind: crate::chain::SamplerKind,
+        phase: ChainPhase,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.end_phase(chain_index, kind, phase);
+        }
+    }
 }
 
 impl Analysis {
@@ -142,17 +205,38 @@ impl Analysis {
         );
         let rng = SimRng::new(config.seed);
 
+        // Progress/trace observers share one cadence and wall epoch; lane
+        // bases keep MH and HMC chains on distinct trace lanes.
+        let epoch = std::time::Instant::now();
+        let cadence = if config.progress_every > 0 {
+            config.progress_every
+        } else {
+            50
+        };
+        let make_observer = |lane_base: u64| {
+            move |_k: usize| RunObserver {
+                ticker: (config.progress_every > 0)
+                    .then(|| StderrTicker::new(config.progress_every)),
+                trace: config
+                    .trace
+                    .then(|| TraceProgress::new(cadence, 2048, epoch, lane_base)),
+            }
+        };
+
         let mh_watch = obs::Stopwatch::start();
-        let mh_chains = if config.run_mh {
+        let (mh_chains, mh_observers): (Vec<Chain>, Vec<RunObserver>) = if config.run_mh {
             let mh_rng = rng.split("mh");
-            run_chains(
+            run_chains_observed(
                 |_k, r: &mut SimRng| MetropolisHastings::from_prior(data, config.prior, r),
+                make_observer(0),
                 config.n_chains,
                 &config.chain,
                 &mh_rng,
             )
+            .into_iter()
+            .unzip()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
         let mh_secs = if config.run_mh {
             mh_watch.elapsed_secs()
@@ -160,22 +244,40 @@ impl Analysis {
             0.0
         };
         let hmc_watch = obs::Stopwatch::start();
-        let hmc_chains = if config.run_hmc {
+        let hmc_lane_base = if config.run_mh {
+            config.n_chains as u64
+        } else {
+            0
+        };
+        let (hmc_chains, hmc_observers): (Vec<Chain>, Vec<RunObserver>) = if config.run_hmc {
             let hmc_rng = rng.split("hmc");
-            run_chains(
+            run_chains_observed(
                 |_k, r: &mut SimRng| Hmc::from_prior(data, config.prior, r),
+                make_observer(hmc_lane_base),
                 config.n_chains,
                 &config.chain,
                 &hmc_rng,
             )
+            .into_iter()
+            .unzip()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
         let hmc_secs = if config.run_hmc {
             hmc_watch.elapsed_secs()
         } else {
             0.0
         };
+        let trace = config.trace.then(|| {
+            let chains = mh_observers.len() + hmc_observers.len();
+            let mut merged = obs::TraceBuffer::with_epoch(2048 * chains.max(1), epoch);
+            for o in mh_observers.into_iter().chain(hmc_observers) {
+                if let Some(t) = o.trace {
+                    merged.merge(t.into_buffer());
+                }
+            }
+            merged
+        });
 
         let mh_pooled = (!mh_chains.is_empty()).then(|| Chain::pooled(&mh_chains));
         let hmc_pooled = (!hmc_chains.is_empty()).then(|| Chain::pooled(&hmc_chains));
@@ -252,6 +354,7 @@ impl Analysis {
             max_r_hat,
             mh_secs,
             hmc_secs,
+            trace,
         }
     }
 
@@ -284,6 +387,9 @@ impl Analysis {
             .section("because.diagnostics")
             .gauge("max_r_hat", self.max_r_hat)
             .counter("unexplained_paths", self.unexplained_paths as u64);
+        if let Some(trace) = &self.trace {
+            trace.export_into(report.section("because.trace"));
+        }
     }
 
     /// The report for one AS.
@@ -486,6 +592,44 @@ mod tests {
             matches!(hmc.get("grad_evals"), Some(obs::Value::Counter(n)) if *n > 0),
             "HMC must count gradient evaluations"
         );
+    }
+
+    #[test]
+    fn traced_run_merges_all_chain_lanes_and_changes_nothing() {
+        let obs = observations(&[(&[1], true), (&[2], false)], 10);
+        let data = PathData::from_observations(&obs, &[]);
+        let plain = Analysis::run(&data, &AnalysisConfig::fast(7));
+        assert!(plain.trace.is_none(), "tracing must be off by default");
+
+        let cfg = AnalysisConfig {
+            trace: true,
+            ..AnalysisConfig::fast(7)
+        };
+        let traced = Analysis::run(&data, &cfg);
+        let buf = traced.trace.as_ref().expect("trace requested");
+        assert_eq!(buf.dropped(), 0);
+        // One lane per chain per kernel: MH at 0..n, HMC at n..2n.
+        for lane in 0..(2 * cfg.n_chains as u64) {
+            let name = buf
+                .lane_name(obs::Lane(lane))
+                .unwrap_or_else(|| panic!("lane {lane} unnamed"));
+            assert!(name.ends_with(&format!("chain {}", lane % cfg.n_chains as u64)));
+        }
+        // Every chain contributes warmup and sampling spans.
+        let begins = buf
+            .events()
+            .filter(|e| e.kind == obs::TraceKind::Begin)
+            .count();
+        assert_eq!(begins, 2 * 2 * cfg.n_chains);
+        // Observation must not perturb the chains.
+        for (a, b) in plain.reports.iter().zip(&traced.reports) {
+            assert_eq!(a.mh.map(|m| m.mean), b.mh.map(|m| m.mean));
+            assert_eq!(a.hmc.map(|m| m.mean), b.hmc.map(|m| m.mean));
+        }
+        // The trace surfaces in the run report.
+        let mut report = obs::RunReport::new("t");
+        traced.export_obs(&mut report);
+        assert!(report.get("because.trace").is_some());
     }
 
     #[test]

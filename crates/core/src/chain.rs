@@ -9,6 +9,8 @@
 use netsim::SimRng;
 use serde::{Deserialize, Serialize};
 
+use crate::progress::{ChainPhase, NoProgress, ProgressObserver, ProgressSnapshot};
+
 /// Which MCMC kernel produced a chain.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum SamplerKind {
@@ -262,21 +264,93 @@ impl Chain {
 }
 
 /// Run one chain: warmup with adaptation, then collect thinned samples.
-pub fn run_chain<S: Sampler>(mut sampler: S, config: &ChainConfig, rng: &mut SimRng) -> Chain {
+pub fn run_chain<S: Sampler>(sampler: S, config: &ChainConfig, rng: &mut SimRng) -> Chain {
+    // `NoProgress` monomorphises `every == 0`, so the observed driver
+    // collapses back to the bare warmup/sampling loops.
+    run_chain_observed(sampler, config, rng, 0, &mut NoProgress)
+}
+
+/// [`run_chain`] with a [`ProgressObserver`] called every
+/// `observer.every()` iterations (see [`crate::progress`]).
+///
+/// Observation never touches the RNG, so an observed run produces a
+/// draw-for-draw identical chain to an unobserved one.
+pub fn run_chain_observed<S: Sampler, O: ProgressObserver>(
+    mut sampler: S,
+    config: &ChainConfig,
+    rng: &mut SimRng,
+    chain_index: usize,
+    observer: &mut O,
+) -> Chain {
+    let every = observer.every();
+    let kind = sampler.kind();
     let warmup_watch = obs::Stopwatch::start();
+    if every > 0 {
+        observer.begin_phase(chain_index, kind, ChainPhase::Warmup);
+    }
     for it in 0..config.warmup {
         sampler.step(rng);
         sampler.adapt(it, config.warmup);
+        if every > 0 && (it + 1) % every == 0 {
+            observer.observe(&ProgressSnapshot {
+                chain_index,
+                kind,
+                phase: ChainPhase::Warmup,
+                iteration: it + 1,
+                total: config.warmup,
+                accept_rate: sampler.acceptance_rate(),
+                divergences: sampler.divergences(),
+                means: &[],
+                split_r_hat: f64::NAN,
+                min_ess: f64::NAN,
+            });
+        }
+    }
+    if every > 0 {
+        observer.end_phase(chain_index, kind, ChainPhase::Warmup);
     }
     let warmup_secs = warmup_watch.elapsed_secs();
-    let mut chain = Chain::with_capacity(sampler.kind(), sampler.dim(), config.samples);
+    let mut chain = Chain::with_capacity(kind, sampler.dim(), config.samples);
     let sampling_watch = obs::Stopwatch::start();
     let thin = config.thin.max(1);
-    for _ in 0..config.samples {
+    if every > 0 {
+        observer.begin_phase(chain_index, kind, ChainPhase::Sampling);
+    }
+    // Welford online means over retained draws (only maintained when
+    // observed — the unobserved path allocates nothing).
+    let mut means: Vec<f64> = if every > 0 {
+        vec![0.0; sampler.dim()]
+    } else {
+        Vec::new()
+    };
+    for s in 0..config.samples {
         for _ in 0..thin {
             sampler.step(rng);
         }
         chain.push_row(sampler.state());
+        if every > 0 {
+            let n = (s + 1) as f64;
+            for (m, &x) in means.iter_mut().zip(sampler.state()) {
+                *m += (x - *m) / n;
+            }
+            if (s + 1) % every == 0 {
+                observer.observe(&ProgressSnapshot {
+                    chain_index,
+                    kind,
+                    phase: ChainPhase::Sampling,
+                    iteration: s + 1,
+                    total: config.samples,
+                    accept_rate: sampler.acceptance_rate(),
+                    divergences: sampler.divergences(),
+                    means: &means,
+                    split_r_hat: crate::diagnostics::max_r_hat(std::slice::from_ref(&chain)),
+                    min_ess: crate::diagnostics::min_ess(&chain),
+                });
+            }
+        }
+    }
+    if every > 0 {
+        observer.end_phase(chain_index, kind, ChainPhase::Sampling);
     }
     chain.accept_rate = sampler.acceptance_rate();
     chain.proposals = sampler.proposals();
@@ -303,14 +377,41 @@ where
     S: Sampler + Send,
     F: Fn(usize, &mut SimRng) -> S + Sync,
 {
-    let mut out: Vec<Option<Chain>> = (0..n_chains).map(|_| None).collect();
+    run_chains_observed(make_sampler, |_| NoProgress, n_chains, config, rng)
+        .into_iter()
+        .map(|(chain, _)| chain)
+        .collect()
+}
+
+/// [`run_chains`] with a per-chain [`ProgressObserver`] built by
+/// `make_observer(k)`. Each observer runs on its chain's thread (no
+/// shared sink, no locks) and is returned alongside its chain so callers
+/// can recover owned state (e.g. a [`crate::progress::TraceProgress`]
+/// buffer to merge).
+pub fn run_chains_observed<S, F, O, G>(
+    make_sampler: F,
+    make_observer: G,
+    n_chains: usize,
+    config: &ChainConfig,
+    rng: &SimRng,
+) -> Vec<(Chain, O)>
+where
+    S: Sampler + Send,
+    F: Fn(usize, &mut SimRng) -> S + Sync,
+    O: ProgressObserver + Send,
+    G: Fn(usize) -> O + Sync,
+{
+    let mut out: Vec<Option<(Chain, O)>> = (0..n_chains).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (k, slot) in out.iter_mut().enumerate() {
             let make_sampler = &make_sampler;
+            let make_observer = &make_observer;
             let mut chain_rng = rng.split_index("chain", k as u64);
             scope.spawn(move || {
                 let sampler = make_sampler(k, &mut chain_rng);
-                *slot = Some(run_chain(sampler, config, &mut chain_rng));
+                let mut observer = make_observer(k);
+                let chain = run_chain_observed(sampler, config, &mut chain_rng, k, &mut observer);
+                *slot = Some((chain, observer));
             });
         }
     });
@@ -484,6 +585,128 @@ mod tests {
         // The Toy kernel uses the default (zero) instrumentation hooks.
         assert_eq!(chain.divergences, 0);
         assert_eq!(chain.likelihood_evals, 0);
+    }
+
+    /// Collects every snapshot for assertions.
+    struct Collector {
+        every: usize,
+        snaps: Vec<(ChainPhase, usize, f64, Vec<f64>, f64, f64)>,
+        phases: Vec<(ChainPhase, bool)>,
+    }
+
+    impl ProgressObserver for Collector {
+        fn every(&self) -> usize {
+            self.every
+        }
+        fn observe(&mut self, s: &ProgressSnapshot) {
+            self.snaps.push((
+                s.phase,
+                s.iteration,
+                s.accept_rate,
+                s.means.to_vec(),
+                s.split_r_hat,
+                s.min_ess,
+            ));
+        }
+        fn begin_phase(&mut self, _: usize, _: SamplerKind, phase: ChainPhase) {
+            self.phases.push((phase, true));
+        }
+        fn end_phase(&mut self, _: usize, _: SamplerKind, phase: ChainPhase) {
+            self.phases.push((phase, false));
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_draw_for_draw() {
+        let cfg = ChainConfig {
+            warmup: 100,
+            samples: 400,
+            thin: 1,
+        };
+        let make = || Toy {
+            x: vec![3.0, -3.0],
+            accepted: 0,
+            proposed: 0,
+        };
+        let mut rng_a = SimRng::new(21);
+        let plain = run_chain(make(), &cfg, &mut rng_a);
+        let mut rng_b = SimRng::new(21);
+        let mut collector = Collector {
+            every: 50,
+            snaps: Vec::new(),
+            phases: Vec::new(),
+        };
+        let observed = run_chain_observed(make(), &cfg, &mut rng_b, 0, &mut collector);
+        assert_eq!(
+            plain.flat(),
+            observed.flat(),
+            "observation must not perturb draws"
+        );
+        assert_eq!(plain.accept_rate, observed.accept_rate);
+
+        // 100/50 warmup + 400/50 sampling snapshots, phases bracketed.
+        assert_eq!(collector.snaps.len(), 2 + 8);
+        assert_eq!(
+            collector.phases,
+            vec![
+                (ChainPhase::Warmup, true),
+                (ChainPhase::Warmup, false),
+                (ChainPhase::Sampling, true),
+                (ChainPhase::Sampling, false),
+            ]
+        );
+        // Warmup snapshots carry no convergence estimates.
+        let (phase, it, accept, means, rhat, ess) = &collector.snaps[0];
+        assert_eq!((*phase, *it), (ChainPhase::Warmup, 50));
+        assert!(*accept > 0.0 && means.is_empty() && rhat.is_nan() && ess.is_nan());
+        // The final sampling snapshot agrees with the finished chain.
+        let (phase, it, _, means, rhat, ess) = collector.snaps.last().unwrap();
+        assert_eq!((*phase, *it), (ChainPhase::Sampling, 400));
+        for (i, m) in means.iter().enumerate() {
+            assert!(
+                (m - observed.mean(i)).abs() < 1e-9,
+                "welford mean {i}: {m} vs {}",
+                observed.mean(i)
+            );
+        }
+        assert!(rhat.is_finite() && *rhat > 0.9, "rhat={rhat}");
+        assert!(ess.is_finite() && *ess >= 1.0, "ess={ess}");
+    }
+
+    #[test]
+    fn run_chains_observed_returns_observer_per_chain() {
+        let rng = SimRng::new(5);
+        let cfg = ChainConfig {
+            warmup: 20,
+            samples: 60,
+            thin: 1,
+        };
+        let make = |_k: usize, r: &mut SimRng| Toy {
+            x: vec![r.gaussian()],
+            accepted: 0,
+            proposed: 0,
+        };
+        let results = run_chains_observed(
+            make,
+            |_k| Collector {
+                every: 20,
+                snaps: Vec::new(),
+                phases: Vec::new(),
+            },
+            3,
+            &cfg,
+            &rng,
+        );
+        assert_eq!(results.len(), 3);
+        for (chain, collector) in &results {
+            assert_eq!(chain.len(), 60);
+            assert_eq!(collector.snaps.len(), 1 + 3);
+        }
+        // Observed and plain multi-chain runs agree draw-for-draw too.
+        let plain = run_chains(make, 3, &cfg, &rng);
+        for (p, (o, _)) in plain.iter().zip(&results) {
+            assert_eq!(p.flat(), o.flat());
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod mh;
 pub mod model;
 pub mod pinpoint;
 pub mod prior;
+pub mod progress;
 pub mod summary;
 
 pub use analysis::{Analysis, AnalysisConfig, AsReport};
@@ -61,4 +62,7 @@ pub use chain::{Chain, SamplerKind};
 pub use likelihood::{LogLikelihood, DEFAULT_PARALLEL_THRESHOLD};
 pub use model::{NodeId, PathData, PathObservation, PathRef};
 pub use prior::Prior;
+pub use progress::{
+    ChainPhase, NoProgress, ProgressObserver, ProgressSnapshot, StderrTicker, TraceProgress,
+};
 pub use summary::Marginal;

@@ -16,7 +16,14 @@
 //!   as JSON to `path`;
 //! * `--report` — print the run report as text to stdout after the
 //!   figure/table output (kept off the default path so existing output
-//!   stays byte-for-byte diffable).
+//!   stays byte-for-byte diffable);
+//! * `--trace <path>` (or `--trace=<path>`, or `REPRO_TRACE`) — record
+//!   RFD/MRAI simulator activity and per-chain sampler progress, and
+//!   write a Chrome trace-event file (open in Perfetto / `about:tracing`)
+//!   to `path`;
+//! * `--progress [every-n]` — stream per-chain sampler diagnostics
+//!   (accept rate, incremental split-R̂/min-ESS) to stderr every `n`
+//!   iterations (default 200).
 
 use because::chain::ChainConfig;
 use because::{AnalysisConfig, Prior};
@@ -71,12 +78,15 @@ pub fn cycles() -> usize {
     }
 }
 
-/// A single-interval experiment at the current scale.
+/// A single-interval experiment at the current scale. Simulator tracing
+/// switches on with `--trace` so the campaign's RFD/MRAI activity lands
+/// in the exported trace file.
 pub fn experiment(interval_mins: u64, seed: u64) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::single_interval(interval_mins, seed);
     cfg.topology = topology_config(seed);
     cfg.cycles = cycles();
     cfg.break_duration = SimDuration::from_hours(2);
+    cfg.trace = trace_path().is_some();
     cfg
 }
 
@@ -104,6 +114,8 @@ pub fn analysis_config(seed: u64) -> AnalysisConfig {
         chain,
         n_chains: 2,
         seed,
+        progress_every: progress_every(),
+        trace: trace_path().is_some(),
         ..Default::default()
     }
 }
@@ -138,6 +150,41 @@ pub fn report_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--report")
 }
 
+/// The `--trace` destination, if any: `--trace <path>`,
+/// `--trace=<path>`, or the `REPRO_TRACE` variable.
+pub fn trace_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(path));
+        }
+    }
+    std::env::var("REPRO_TRACE")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// The `--progress [every-n]` cadence: `0` when the flag is absent, the
+/// given iteration count when one follows (`--progress 500` or
+/// `--progress=500`), else a default of 200.
+pub fn progress_every() -> usize {
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--progress" {
+            let n = args.peek().and_then(|next| next.parse::<usize>().ok());
+            return n.unwrap_or(200).max(1);
+        }
+        if let Some(n) = arg.strip_prefix("--progress=") {
+            return n.parse::<usize>().ok().unwrap_or(200).max(1);
+        }
+    }
+    0
+}
+
 /// Collects a binary's run report and emits it on request.
 ///
 /// Construct after the banner, merge in whatever the run produced
@@ -147,14 +194,33 @@ pub fn report_requested() -> bool {
 pub struct Reporter {
     report: obs::RunReport,
     started: obs::Stopwatch,
+    trace: Option<(std::path::PathBuf, obs::TraceBuffer)>,
 }
 
 impl Reporter {
-    /// A reporter for the named binary.
+    /// A reporter for the named binary. When `--trace` is set, a master
+    /// trace buffer is opened; merge layer traces into it with
+    /// [`Reporter::merge_trace`] and [`Reporter::emit`] writes the
+    /// Chrome trace file.
     pub fn new(name: &str) -> Reporter {
         Reporter {
             report: obs::RunReport::new(name),
             started: obs::Stopwatch::start(),
+            trace: trace_path().map(|p| (p, obs::TraceBuffer::new(1 << 17))),
+        }
+    }
+
+    /// True when `--trace` was requested.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Merge a layer's trace buffer (campaign sim trace, analysis chain
+    /// trace) into the master buffer. A no-op when tracing is off or the
+    /// layer produced nothing, so call sites stay unconditional.
+    pub fn merge_trace(&mut self, layer: Option<obs::TraceBuffer>) {
+        if let (Some((_, master)), Some(buf)) = (self.trace.as_mut(), layer) {
+            master.merge(buf);
         }
     }
 
@@ -180,6 +246,13 @@ impl Reporter {
         self.report
             .section("main")
             .span_secs("total_secs", self.started.elapsed_secs());
+        if let Some((path, trace)) = self.trace.take() {
+            trace.export_into(self.report.section("trace"));
+            match trace.write_chrome_json(&path) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+            }
+        }
         if let Some(path) = report_json_path() {
             match self.report.write_json(&path) {
                 Ok(()) => eprintln!("report written to {}", path.display()),

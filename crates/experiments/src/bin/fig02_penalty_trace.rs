@@ -15,7 +15,16 @@ mod common;
 
 fn main() {
     common::banner("Figure 2: RFD penalty trace (Cisco defaults)");
-    let reporter = common::Reporter::new("fig02_penalty_trace");
+    let mut reporter = common::Reporter::new("fig02_penalty_trace");
+    // With --trace, the same timeline is recorded as sim-time events:
+    // the penalty as a counter, suppression as a span, flaps as instants.
+    let mut trace = reporter
+        .trace_enabled()
+        .then(|| obs::TraceBuffer::new(1 << 12));
+    let lane = obs::Lane::MAIN;
+    if let Some(t) = &mut trace {
+        t.set_lane_name(lane, "rfd penalty (Cisco)");
+    }
     let params = VendorProfile::Cisco.params();
     let mut state = RfdState::new();
 
@@ -53,13 +62,35 @@ fn main() {
             event_iter.next();
             let tr = state.record(kind, at, &params);
             label = format!("{kind:?} -> {tr:?}");
+            if let Some(t) = &mut trace {
+                let name = match kind {
+                    FlapKind::Withdrawal => "withdrawal",
+                    FlapKind::Readvertisement => "readvertisement",
+                    _ => "flap",
+                };
+                t.instant_sim(name, lane, at.as_millis());
+            }
             if tr == bgpsim::rfd::RfdTransition::Suppressed {
                 suppressed_at = Some(at);
+                if let Some(t) = &mut trace {
+                    t.begin_sim("suppressed", lane, at.as_millis());
+                }
             }
         }
         if state.is_suppressed() && state.tick(clock, &params) {
             label = "Released".to_string();
             released_at = Some(clock);
+            if let Some(t) = &mut trace {
+                t.end_sim("suppressed", lane, clock.as_millis());
+            }
+        }
+        if let Some(t) = &mut trace {
+            t.counter_sim(
+                "penalty",
+                lane,
+                clock.as_millis(),
+                state.penalty_at(clock, &params),
+            );
         }
         println!(
             "{:>8.1}  {:>7.0}  {:>10}  {label}",
@@ -82,5 +113,6 @@ fn main() {
             params.max_suppress_time.as_mins_f64()
         );
     }
+    reporter.merge_trace(trace);
     reporter.emit();
 }

@@ -39,6 +39,9 @@ fn main() {
     net.connect(AsId(22), AsId(32), prov, cust, None);
     net.attach_tap(AsId(31));
     net.attach_tap(AsId(32));
+    if reporter.trace_enabled() {
+        net.set_trace(obs::TraceBuffer::new(1 << 16));
+    }
 
     let schedule = BeaconSchedule::standard(
         "10.0.0.0/24".parse().unwrap(),
@@ -88,6 +91,7 @@ fn main() {
     }
 
     net.export_obs(reporter.report_mut());
+    reporter.merge_trace(net.take_trace());
     reporter.report_mut().push_section(dump.obs_section());
 
     let labels = label_dump(&dump, &schedule, &LabelingConfig::default());

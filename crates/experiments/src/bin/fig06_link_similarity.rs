@@ -21,6 +21,7 @@ fn main() {
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
 
     let mut site_prefixes: BTreeMap<bgpsim::AsId, Vec<Prefix>> = BTreeMap::new();
     for sc in &out.campaign.sites {

@@ -16,6 +16,7 @@ fn main() {
     let mut reporter = common::Reporter::new("fig07_project_overlap");
     let out = run_campaign(&common::experiment(1, common::seed()));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
 
     let obs = project_observations(&out.dump);
     let shares = project_exclusive_shares(&out.dump);

@@ -19,6 +19,7 @@ fn main() {
     let mut reporter = common::Reporter::new("fig08_propagation");
     let out = run_campaign(&common::experiment(1, common::seed()));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
 
     let anchors: Vec<bgpsim::Prefix> = out.campaign.sites.iter().map(|s| s.anchor.prefix).collect();
     let beacons: Vec<bgpsim::Prefix> = out.campaign.beacon_schedules().map(|b| b.prefix).collect();

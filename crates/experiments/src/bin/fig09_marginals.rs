@@ -52,6 +52,7 @@ fn main() {
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
@@ -59,6 +60,7 @@ fn main() {
     );
     let analysis = &inf.analysis;
     analysis.export_obs(reporter.report_mut());
+    reporter.merge_trace(analysis.trace.clone());
     let pooled = Chain::pooled(&analysis.hmc_chains);
 
     // Select archetypes from the reports.

@@ -16,6 +16,7 @@ fn main() {
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
     let schedule = out.campaign.sites[0].beacons[0].clone();
 
     // Pick a damping AS that is on labeled RFD paths and a clean AS.

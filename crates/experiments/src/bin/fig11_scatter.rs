@@ -19,12 +19,14 @@ fn main() {
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
     inf.analysis.export_obs(reporter.report_mut());
+    reporter.merge_trace(inf.analysis.trace.clone());
 
     println!("as\tmean\tcertainty\tcategory\tinconsistent");
     for r in &inf.analysis.reports {

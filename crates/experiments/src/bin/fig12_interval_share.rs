@@ -58,6 +58,8 @@ fn main() {
             .collect();
         per_interval.push((mins, consistent, with_inconsistent));
         reporter.merge_prefixed(out.report.clone(), &format!("interval_{mins}"));
+        reporter.merge_trace(out.trace.clone());
+        reporter.merge_trace(inf.analysis.trace.clone());
         eprintln!(
             "  interval {mins} min done ({} labeled paths)",
             out.labels.len()

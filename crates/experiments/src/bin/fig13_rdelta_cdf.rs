@@ -29,6 +29,7 @@ fn main() {
         cfg.deployment.max_suppress_mix = vec![(10, 1.0), (30, 1.0), (60, 1.0)];
         let out = run_campaign(&cfg);
         reporter.merge_prefixed(out.report.clone(), &format!("interval_{mins}"));
+        reporter.merge_trace(out.trace.clone());
         let means: Vec<f64> = out
             .labels
             .iter()

@@ -21,12 +21,14 @@ fn main() {
     let seed = common::seed();
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
     inf.analysis.export_obs(reporter.report_mut());
+    reporter.merge_trace(inf.analysis.trace.clone());
 
     let counts = inf.analysis.category_counts();
     let shares = inf.analysis.category_shares();

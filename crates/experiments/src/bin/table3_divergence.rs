@@ -53,6 +53,7 @@ fn schedule_for(site: AsId, prefix: &str) -> BeaconSchedule {
 /// Run a micro-scenario: build the net, run the given beacon schedules,
 /// label, infer with both methods, and report the verdicts for `target`.
 fn run_case(
+    reporter: &mut common::Reporter,
     build: impl Fn(&mut Network),
     schedules: &[BeaconSchedule],
     vantage_points: &[AsId],
@@ -64,6 +65,9 @@ fn run_case(
         ..Default::default()
     });
     build(&mut net);
+    if reporter.trace_enabled() {
+        net.set_trace(obs::TraceBuffer::new(1 << 14));
+    }
     for &vp in vantage_points {
         net.attach_tap(vp);
     }
@@ -71,6 +75,7 @@ fn run_case(
         s.apply(&mut net);
     }
     net.run_to_quiescence();
+    reporter.merge_trace(net.take_trace());
     let taps = net.take_tap_log();
     let set = CollectorSet::single(vantage_points, Project::Isolario);
     let horizon = schedules.iter().map(|s| s.end()).max().expect("schedules");
@@ -95,7 +100,13 @@ fn run_case(
         .collect();
     let sites: Vec<NodeId> = schedules.iter().map(|s| NodeId(s.site.0)).collect();
     let data = PathData::from_observations(&observations, &sites);
-    let analysis = because::Analysis::run(&data, &AnalysisConfig::fast(common::seed()));
+    let acfg = AnalysisConfig {
+        progress_every: common::progress_every(),
+        trace: reporter.trace_enabled(),
+        ..AnalysisConfig::fast(common::seed())
+    };
+    let analysis = because::Analysis::run(&data, &acfg);
+    reporter.merge_trace(analysis.trace.clone());
     let because_flag = analysis
         .report(NodeId(target.0))
         .map(|r| r.is_property())
@@ -116,7 +127,7 @@ fn run_case(
 
 fn main() {
     common::banner("Table 3: divergence micro-scenarios");
-    let reporter = common::Reporter::new("table3_divergence");
+    let mut reporter = common::Reporter::new("table3_divergence");
     let cisco = VendorProfile::Cisco.params();
     let cust = SessionPolicy::plain(Relationship::Customer);
     let prov = SessionPolicy::plain(Relationship::Provider);
@@ -136,6 +147,7 @@ fn main() {
     {
         let damped_neighbors = [3356u32, 1299, 6453];
         let (b, h, _) = run_case(
+            &mut reporter,
             |net| {
                 for (i, &x) in damped_neighbors.iter().enumerate() {
                     // Site under each damped neighbor, damped at 701.
@@ -187,6 +199,7 @@ fn main() {
     // never materialises because 20 already suppresses.
     {
         let (b, h, _seen) = run_case(
+            &mut reporter,
             |net| {
                 net.connect(AsId(65000), AsId(20), prov, cust.with_rfd(cisco), None);
                 net.connect(AsId(37474), AsId(20), prov.with_rfd(cisco), cust, None);
@@ -212,6 +225,7 @@ fn main() {
     // heuristic sees 100 % RFD paths for 5645.
     {
         let (b, h, _) = run_case(
+            &mut reporter,
             |net| {
                 net.connect(AsId(65000), AsId(30), prov, cust.with_rfd(cisco), None);
                 net.connect(AsId(5645), AsId(30), prov, cust, None);

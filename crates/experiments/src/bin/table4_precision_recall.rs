@@ -25,12 +25,14 @@ fn main() {
     // --- RFD ------------------------------------------------------------
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
+    reporter.merge_trace(out.trace.clone());
     let inf = infer_becauase_and_heuristics(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
     );
     inf.analysis.export_obs(reporter.report_mut());
+    reporter.merge_trace(inf.analysis.trace.clone());
     let interval = SimDuration::from_mins(1);
     let because_eval = evaluate_against_oracle(&out, &inf.because_flagged(), interval);
     let heuristics_eval = evaluate_against_oracle(&out, &inf.heuristics_flagged(), interval);

@@ -31,6 +31,9 @@ pub struct ExperimentConfig {
     pub labeling: LabelingConfig,
     /// Master seed (propagated to all subsystems).
     pub seed: u64,
+    /// Record per-session RFD transitions and MRAI deferrals into a
+    /// sim-time trace buffer, surfaced as [`CampaignOutput::trace`].
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -51,6 +54,7 @@ impl ExperimentConfig {
             },
             labeling: LabelingConfig::default(),
             seed,
+            trace: false,
         }
     }
 
@@ -72,6 +76,7 @@ impl ExperimentConfig {
             },
             labeling: LabelingConfig::default(),
             seed,
+            trace: false,
         }
     }
 }
@@ -96,6 +101,9 @@ pub struct CampaignOutput {
     /// Observability report: pipeline phase timings plus per-subsystem
     /// metric sections (queue, network, collector, labels).
     pub report: obs::RunReport,
+    /// Sim-time trace of RFD/MRAI activity, when
+    /// [`ExperimentConfig::trace`] was set.
+    pub trace: Option<obs::TraceBuffer>,
 }
 
 impl CampaignOutput {
@@ -134,6 +142,9 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
         ..bgpsim::NetworkConfig::realistic(config.seed)
     };
     let mut net = topology.instantiate(net_config, deployment.policy_hook());
+    if config.trace {
+        net.set_trace(obs::TraceBuffer::new(1 << 16));
+    }
 
     // 3. Beacon campaign.
     let campaign = Campaign::new(
@@ -175,6 +186,7 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
     net.export_obs(&mut report);
     report.push_section(dump.obs_section());
     report.push_section(signature::obs_section(&labels));
+    let trace = net.take_trace();
 
     CampaignOutput {
         topology,
@@ -185,6 +197,7 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
         events_processed,
         updates_delivered,
         report,
+        trace,
     }
 }
 
@@ -281,6 +294,27 @@ mod tests {
             "only {} vantage points produced labels",
             vps.len()
         );
+    }
+
+    #[test]
+    fn traced_campaign_records_rfd_activity_without_perturbing_it() {
+        let mut cfg = ExperimentConfig::small(1, 11);
+        cfg.trace = true;
+        let traced = run_campaign(&cfg);
+        let buf = traced.trace.as_ref().expect("trace requested");
+        assert!(
+            buf.events()
+                .any(|e| e.name == "penalty" && e.kind == obs::TraceKind::Counter),
+            "campaign with planted dampers must record penalty samples"
+        );
+        assert!(buf
+            .events()
+            .all(|e| matches!(e.time, obs::TraceTime::Sim(_))));
+
+        let plain = run_campaign(&ExperimentConfig::small(1, 11));
+        assert!(plain.trace.is_none(), "tracing must be off by default");
+        assert_eq!(plain.labels, traced.labels);
+        assert_eq!(plain.events_processed, traced.events_processed);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! The hand-rolled JSON fragment writer shared by [`crate::RunReport`]
+//! and the [`crate::trace`] Chrome-trace exporter.
+//!
+//! The in-tree serde is a marker shim with no codegen, so every JSON
+//! byte this workspace emits comes from these two functions. They are
+//! deliberately tiny: escaping per RFC 8259 (the two mandatory escapes
+//! plus the common control-character shorthands), and `null` for any
+//! non-finite float — downstream tooling (`python3 -m json.tool`,
+//! Perfetto) rejects bare `NaN`/`Infinity`.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quotes included) with escaping.
+///
+/// Escapes `"` and `\`, the `\n`/`\r`/`\t` shorthands, and every other
+/// control character below 0x20 as `\u00XX`. Non-ASCII characters pass
+/// through as raw UTF-8, which JSON permits.
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an f64 as a JSON number (`null` for non-finite values).
+pub fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn plain_strings_pass_through_quoted() {
+        assert_eq!(escaped("netsim.queue"), "\"netsim.queue\"");
+        assert_eq!(escaped(""), "\"\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        // A backslash before a quote must produce four characters, not a
+        // lone escaped quote.
+        assert_eq!(escaped("\\\""), "\"\\\\\\\"\"");
+    }
+
+    #[test]
+    fn common_control_chars_use_shorthands() {
+        assert_eq!(escaped("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+    }
+
+    #[test]
+    fn remaining_control_chars_use_u_escapes() {
+        assert_eq!(escaped("\u{0}"), "\"\\u0000\"");
+        assert_eq!(escaped("\u{1b}[0m"), "\"\\u001b[0m\"");
+        assert_eq!(
+            escaped("\u{7}\u{8}\u{b}\u{c}"),
+            "\"\\u0007\\u0008\\u000b\\u000c\""
+        );
+        // 0x7f (DEL) is not a JSON-mandatory escape; it passes through.
+        assert_eq!(escaped("\u{7f}"), "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        assert_eq!(escaped("rfd 20→30 ✓ λ=０.5"), "\"rfd 20→30 ✓ λ=０.5\"");
+        assert_eq!(escaped("préfixe 10.0.0.0/24"), "\"préfixe 10.0.0.0/24\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_round_trip_or_null() {
+        let mut out = String::new();
+        json_f64(&mut out, 0.1);
+        out.push(',');
+        json_f64(&mut out, -3.0);
+        out.push(',');
+        json_f64(&mut out, f64::NAN);
+        out.push(',');
+        json_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        json_f64(&mut out, f64::NEG_INFINITY);
+        assert_eq!(out, "0.1,-3,null,null,null");
+    }
+}

@@ -18,7 +18,13 @@
 //! * [`RunReport`] / [`Section`] — the snapshot form: what every
 //!   `fig*`/`table*` binary prints with `--report` or dumps with
 //!   `--report-json <path>`. Text and JSON rendering are hand-rolled
-//!   (the in-tree serde is a marker shim).
+//!   (the in-tree serde is a marker shim) on the shared [`json`] writer.
+//! * [`TraceBuffer`] — a bounded, lossy ring of typed [`TraceEvent`]s
+//!   (span begin/end, instants, counter samples on sim- or wall-clock
+//!   lanes) with a Chrome trace-event exporter; what `--trace <path>`
+//!   dumps. Aggregates say *how much*, the trace says *when*.
+//! * [`write_atomic`] — temp-file-plus-rename artifact writes, so an
+//!   interrupted run never leaves truncated JSON behind.
 //!
 //! ## Naming conventions
 //!
@@ -34,12 +40,17 @@
 //! benchmarks (see `BENCH_0002_obs_overhead.json` at the repo root and
 //! the `obs_overhead` bench for the per-primitive costs).
 
+pub mod json;
 mod metrics;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
+mod write;
 
 pub use metrics::{Counter, Gauge, HighWater, Histogram};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
 pub use report::{Entry, HistogramSnapshot, RunReport, Section, Value};
 pub use span::{SpanGuard, SpanId, SpanSet, Stopwatch};
+pub use trace::{Lane, TraceBuffer, TraceEvent, TraceKind, TraceTime};
+pub use write::{write_atomic, write_atomic_with};

@@ -105,6 +105,19 @@ impl Registry {
     }
 
     /// Record one sample into a histogram.
+    ///
+    /// Ordering contract: every atomic here is `Relaxed`. The CAS loop
+    /// on `sum_bits` makes each *individual* addition atomic — no
+    /// concurrent increment is ever lost, so for sums that stay exactly
+    /// representable (integers below 2^53) the total is exact regardless
+    /// of thread count. What `Relaxed` gives up is *cross-metric*
+    /// consistency: a reader snapshotting mid-run may see the bucket
+    /// counts, `count`, and `sum` at slightly different points in the
+    /// stream. Reports are taken after `thread::scope` joins (a
+    /// synchronisation point), where all three are exact and mutually
+    /// consistent. Floating-point addition remains non-associative, so
+    /// with fractional samples the sum is exact-per-addition but its
+    /// rounding depends on interleaving order.
     #[inline]
     pub fn record(&self, id: HistogramId, v: f64) {
         let h = &self.histograms[id.0].1;
@@ -198,5 +211,39 @@ mod tests {
             other => panic!("expected histogram, got {other:?}"),
         };
         assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn sum_cas_loop_is_exact_under_contention() {
+        // Hammer the f64 CAS loop from many threads with values whose
+        // sum is exactly representable; a single lost compare-exchange
+        // retry would make the total come up short. 8 threads × 25k
+        // samples of distinct small integers forces heavy contention on
+        // the one `sum_bits` cell.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 25_000;
+        let mut reg = Registry::new();
+        let h = reg.histogram("contended", &[1.0]);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        reg.record(h, ((t + i) % 7) as f64);
+                    }
+                });
+            }
+        });
+        let expected_sum: u64 = (0..THREADS)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| (t + i) % 7))
+            .sum();
+        let section = reg.to_section("t");
+        let snap = match &section.entries[0].value {
+            crate::Value::Histogram(s) => s.clone(),
+            other => panic!("expected histogram, got {other:?}"),
+        };
+        assert_eq!(snap.count, THREADS * PER_THREAD);
+        assert_eq!(snap.counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+        assert_eq!(snap.sum, expected_sum as f64, "a CAS retry lost a sample");
     }
 }

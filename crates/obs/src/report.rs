@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use crate::json::{json_f64, json_string};
 use crate::metrics::Histogram;
 
 /// An owned histogram snapshot.
@@ -207,12 +208,12 @@ impl RunReport {
                     Value::Histogram(h) => {
                         let _ = write!(
                             out,
-                            "  {:width$}  n={} mean={:.3} min={:.3} max={:.3} |",
+                            "  {:width$}  n={} mean={} min={} max={} |",
                             e.name,
                             h.count,
-                            h.mean(),
-                            h.min,
-                            h.max
+                            text_f64(h.mean()),
+                            text_f64(h.min),
+                            text_f64(h.max)
                         );
                         for (i, c) in h.counts.iter().enumerate() {
                             match h.bounds.get(i) {
@@ -267,6 +268,8 @@ impl RunReport {
                         let _ = write!(out, ",\"kind\":\"histogram\",\"count\":{}", h.count);
                         out.push_str(",\"sum\":");
                         json_f64(&mut out, h.sum);
+                        out.push_str(",\"mean\":");
+                        json_f64(&mut out, h.mean());
                         out.push_str(",\"min\":");
                         json_f64(&mut out, h.min);
                         out.push_str(",\"max\":");
@@ -294,39 +297,24 @@ impl RunReport {
         out
     }
 
-    /// Write the JSON form to a file (with a trailing newline).
+    /// Write the JSON form to a file atomically (temp file + rename,
+    /// with a trailing newline) — an interrupted run never leaves a
+    /// truncated report where a good one used to be.
     pub fn write_json(&self, path: &Path) -> io::Result<()> {
         let mut json = self.to_json();
         json.push('\n');
-        std::fs::write(path, json)
+        crate::write_atomic(path, json.as_bytes())
     }
 }
 
-/// Append a JSON string literal with escaping.
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Append an f64 as JSON (`null` for non-finite values).
-fn json_f64(out: &mut String, v: f64) {
+/// A float for text rendering: `{:.3}`, or the literal `null` when
+/// non-finite (an empty histogram's mean/min/max) so text and JSON agree
+/// on how "no observations" reads.
+fn text_f64(v: f64) -> String {
     if v.is_finite() {
-        let _ = write!(out, "{v}");
+        format!("{v:.3}")
     } else {
-        out.push_str("null");
+        "null".to_string()
     }
 }
 
@@ -398,6 +386,27 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"a\\\"b\\\\c\\nd\""));
         assert!(json.contains("\"value\":null"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_null_exact_bytes() {
+        // Zero observations must read `null`, never `NaN`, in both
+        // renderings; this test locks the exact bytes.
+        let mut r = RunReport::new("empty");
+        let h = Histogram::new(&[1.0]);
+        r.section("s").histogram("idle_hist", &h);
+        assert_eq!(
+            r.to_text(),
+            "== run report: empty ==\n\
+             [s]\n  idle_hist  n=0 mean=null min=null max=null | le1:0 inf:0\n"
+        );
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"empty\",\"sections\":[{\"name\":\"s\",\"entries\":[\
+             {\"name\":\"idle_hist\",\"kind\":\"histogram\",\"count\":0,\
+             \"sum\":0,\"mean\":null,\"min\":null,\"max\":null,\
+             \"buckets\":[{\"le\":1,\"count\":0},{\"le\":null,\"count\":0}]}]}]}"
+        );
     }
 
     #[test]

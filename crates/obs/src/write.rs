@@ -1,0 +1,138 @@
+//! Atomic artifact writes: temp file in the target directory + rename.
+//!
+//! Every JSON artifact the experiment binaries produce (`--report-json`,
+//! `--trace`) goes through [`write_atomic`], so an interrupted run — a
+//! kill mid-write, a full disk — never leaves a truncated file where a
+//! previous good artifact (or nothing) used to be. The temp file lives
+//! in the *same directory* as the target, because `rename(2)` is only
+//! atomic within one filesystem.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The temp-file path used for `target`: same directory, a dotted name
+/// derived from the target's file name plus the process id (so two
+/// concurrent runs pointed at the same path cannot clobber each other's
+/// half-written temp).
+fn temp_path_for(target: &Path) -> PathBuf {
+    let file_name = target
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let tmp_name = format!(".{file_name}.tmp.{}", std::process::id());
+    match target.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
+        _ => PathBuf::from(tmp_name),
+    }
+}
+
+/// Write `contents` to `path` atomically: temp file in the same
+/// directory, flushed, then renamed over the target.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(contents))
+}
+
+/// Atomic write through a caller-supplied writer callback.
+///
+/// The callback receives the open temp file. Only after it returns
+/// `Ok` (and the file is flushed) is the temp renamed over `path`; on
+/// any error — from the callback or the filesystem — the temp file is
+/// removed and the target left exactly as it was. This is the seam the
+/// interrupted-write regression tests kill the write through.
+pub fn write_atomic_with(
+    path: &Path,
+    write: impl FnOnce(&mut dyn io::Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = temp_path_for(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        write(&mut file)?;
+        file.flush()?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("obs_write_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_land_with_exact_bytes() {
+        let path = temp_target("basic.json");
+        write_atomic(&path, b"{\"ok\":true}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overwrite_replaces_previous_contents() {
+        let path = temp_target("overwrite.json");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new-and-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new-and-longer");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_mid_write_leaves_target_untouched() {
+        // A previous good artifact exists; the next write dies halfway
+        // (simulated by a callback that writes a partial prefix and then
+        // errors, exactly what a kill or ENOSPC looks like through the
+        // writer seam). The target must keep its old bytes and no temp
+        // file may be left behind.
+        let path = temp_target("killed.json");
+        write_atomic(&path, b"{\"good\":1}\n").unwrap();
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"{\"trunc")?;
+            Err(io::Error::other("killed mid-write"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "killed mid-write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"good\":1}\n");
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("killed.json.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp left behind: {leftovers:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_first_write_creates_nothing() {
+        let path = temp_target("never.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = write_atomic_with(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("boom"))
+        });
+        assert!(!path.exists(), "truncated artifact must not appear");
+    }
+
+    #[test]
+    fn bare_relative_path_works() {
+        // A target with no parent directory component writes the temp in
+        // the cwd rather than panicking on an empty join.
+        let name = format!("obs_write_bare_{}.json", std::process::id());
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(std::env::temp_dir()).unwrap();
+        write_atomic(Path::new(&name), b"x").unwrap();
+        assert_eq!(std::fs::read(&name).unwrap(), b"x");
+        let _ = std::fs::remove_file(&name);
+        std::env::set_current_dir(prev).unwrap();
+    }
+}

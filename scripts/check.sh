@@ -20,4 +20,19 @@ cargo test -p obs --no-default-features -q
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> artifact smoke test (--trace / --report-json on a tiny campaign)"
+cargo build --release -p experiments --bins -q
+artifacts="$(mktemp -d)"
+trap 'rm -rf "$artifacts"' EXIT
+REPRO_SCALE=tiny ./target/release/fig02_penalty_trace \
+    --trace "$artifacts/fig02.trace.json" \
+    --report-json "$artifacts/fig02.report.json" > /dev/null
+python3 -m json.tool "$artifacts/fig02.trace.json" > /dev/null
+python3 -m json.tool "$artifacts/fig02.report.json" > /dev/null
+REPRO_SCALE=tiny ./target/release/fig06_link_similarity \
+    --trace "$artifacts/fig06.trace.json" \
+    --report-json "$artifacts/fig06.report.json" > /dev/null
+python3 -m json.tool "$artifacts/fig06.trace.json" > /dev/null
+python3 -m json.tool "$artifacts/fig06.report.json" > /dev/null
+
 echo "All checks passed."
