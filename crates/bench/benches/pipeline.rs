@@ -44,6 +44,15 @@ fn bench_campaign_only(c: &mut Criterion) {
         let cfg = small_experiment(1);
         b.iter(|| black_box(run_campaign(&cfg).labels.len()))
     });
+    // Enabled-faults A/B: the same campaign under the drill fault mix
+    // (outages, session resets, record loss/dup/reorder, clock skew)
+    // prices the armed fault plan end to end — session-down drops,
+    // per-record fault draws, outage-aware labeling.
+    group.bench_function("campaign_simulation_faulted", |b| {
+        let mut cfg = small_experiment(1);
+        cfg.faults = Some(netsim::faults::FaultSpec::drill(7));
+        b.iter(|| black_box(run_campaign(&cfg).labels.len()))
+    });
     group.finish();
 }
 

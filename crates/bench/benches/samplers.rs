@@ -54,6 +54,26 @@ fn bench_chain_run_traced(c: &mut Criterion) {
             black_box(chain.len())
         })
     });
+    // The supervised-driver A/B: the same chain through the default
+    // supervisor (no checkpoint, no resume, no watchdog). The delta is
+    // the whole cost of the per-iteration disabled-feature checks the
+    // crash-safe driver adds over the bare loop.
+    group.bench_function("supervised_default", |b| {
+        b.iter(|| {
+            let rng = SimRng::new(5);
+            let run = because::run_chains_supervised(
+                |_k, rng| MetropolisHastings::from_prior(&data, Prior::default(), rng),
+                |_k| because::NoProgress,
+                1,
+                &config,
+                &rng,
+                &because::SupervisorConfig::default(),
+                "mh",
+            );
+            let (completed, failures) = run.into_parts();
+            black_box((completed.len(), failures.len()))
+        })
+    });
     group.bench_function("traced_every_50", |b| {
         b.iter(|| {
             let mut rng = SimRng::new(5);

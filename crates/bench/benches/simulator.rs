@@ -98,6 +98,38 @@ fn bench_burst(c: &mut Criterion) {
             black_box(net.events_processed())
         })
     });
+    // The enabled-faults A/B: same burst with an armed session-reset
+    // plan, pricing the per-delivery down-link check plus the reset
+    // event handling itself.
+    group.bench_function("one_2h_burst_1min_faulted", |b| {
+        b.iter(|| {
+            let mut net = topo.instantiate(
+                NetworkConfig {
+                    jitter: 0.3,
+                    seed: 6,
+                    ..Default::default()
+                },
+                |_, _, pol| pol,
+            );
+            let schedule = beacon::BeaconSchedule::standard(
+                pfx,
+                site,
+                netsim::SimDuration::from_mins(1),
+                netsim::SimDuration::from_hours(2),
+                SimTime::ZERO,
+                1,
+            );
+            schedule.apply(&mut net);
+            let plan = netsim::faults::FaultPlan::new(netsim::faults::FaultSpec {
+                session_reset_rate: 0.2,
+                seed: 6,
+                ..Default::default()
+            });
+            net.apply_faults(&plan, netsim::SimDuration::from_hours(3));
+            net.run_to_quiescence();
+            black_box(net.events_processed())
+        })
+    });
     // The enabled-tracing A/B: same burst with the RFD/MRAI trace sink
     // attached (no RFD sessions here, so this prices the per-dispatch
     // branch plus MRAI counter pushes, not the damping bookkeeping).

@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use netsim::faults::{FaultCounters, FaultPlan};
 use netsim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::message::{AggregatorStamp, AsId, BgpUpdate};
@@ -116,6 +117,20 @@ pub enum NetEvent {
         /// Prefix to withdraw.
         prefix: Prefix,
     },
+    /// A fault-injected BGP session reset: the `a`–`b` session drops.
+    SessionDown {
+        /// One endpoint.
+        a: AsId,
+        /// The other endpoint.
+        b: AsId,
+    },
+    /// The reset `a`–`b` session re-establishes (full table re-sync).
+    SessionUp {
+        /// One endpoint.
+        a: AsId,
+        /// The other endpoint.
+        b: AsId,
+    },
 }
 
 /// One observation at a vantage point: the VP's best route for a beacon
@@ -175,6 +190,16 @@ pub struct Network {
     rfd_lanes: BTreeMap<(AsId, AsId, Prefix), obs::Lane>,
     /// Interned sim-time lane per router for MRAI deferral instants.
     mrai_lanes: BTreeMap<AsId, obs::Lane>,
+    /// Directed links whose session is currently down (both directions
+    /// inserted). Empty unless a fault plan scheduled resets, so the
+    /// delivery hot path pays exactly one `is_empty` branch.
+    down_links: BTreeSet<(AsId, AsId)>,
+    /// Tallies of injected faults (session resets, dropped deliveries).
+    fault_counters: FaultCounters,
+    /// True once a fault plan was applied (even one injecting nothing).
+    faults_applied: bool,
+    /// Interned sim-time lane per faulted (unordered) link.
+    fault_lanes: BTreeMap<(AsId, AsId), obs::Lane>,
 }
 
 impl Network {
@@ -195,7 +220,44 @@ impl Network {
             trace: None,
             rfd_lanes: BTreeMap::new(),
             mrai_lanes: BTreeMap::new(),
+            down_links: BTreeSet::new(),
+            fault_counters: FaultCounters::default(),
+            faults_applied: false,
+            fault_lanes: BTreeMap::new(),
         }
+    }
+
+    /// Schedule every session reset a fault plan prescribes for this
+    /// network's links over `[0, horizon)`. Each reset becomes a
+    /// [`NetEvent::SessionDown`]/[`NetEvent::SessionUp`] pair; between
+    /// the two, deliveries on the link are dropped (and counted). Links
+    /// are visited in deterministic order, and the plan itself is a pure
+    /// function of its seed, so the same `(seed, plan)` always injects
+    /// the same resets.
+    pub fn apply_faults(&mut self, plan: &FaultPlan, horizon: SimDuration) {
+        self.faults_applied = true;
+        for &(a, b) in self.delays.keys() {
+            if a >= b {
+                continue; // each undirected link once
+            }
+            if let Some((down_at, up_at)) =
+                plan.session_reset(u64::from(a.0), u64::from(b.0), horizon)
+            {
+                self.queue
+                    .schedule_at(down_at, NetEvent::SessionDown { a, b });
+                self.queue.schedule_at(up_at, NetEvent::SessionUp { a, b });
+            }
+        }
+    }
+
+    /// Tallies of faults this network actually injected.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.fault_counters
+    }
+
+    /// True once [`Network::apply_faults`] ran.
+    pub fn faults_applied(&self) -> bool {
+        self.faults_applied
     }
 
     /// Attach an event trace. RFD state-machine transitions (suppress,
@@ -372,6 +434,16 @@ impl Network {
         let mut rfd_session: Option<(AsId, Prefix)> = None;
         let (router_id, output) = match ev {
             NetEvent::Deliver { from, to, update } => {
+                // A down session drops traffic on the floor. The set is
+                // empty unless a fault plan injected resets, so the
+                // fault-free path costs exactly this one branch.
+                if !self.down_links.is_empty() && self.down_links.contains(&(from, to)) {
+                    self.fault_counters.updates_dropped_down += 1;
+                    if self.trace.is_some() {
+                        self.trace_fault(now, from, to, "update_dropped");
+                    }
+                    return;
+                }
                 self.delivered += 1;
                 if update.action.is_announce() {
                     self.stats.updates_announced += 1;
@@ -422,8 +494,58 @@ impl Network {
                 };
                 (router, r.withdraw_origin(prefix, now))
             }
+            NetEvent::SessionDown { a, b } => {
+                self.session_transition(now, a, b, false);
+                return;
+            }
+            NetEvent::SessionUp { a, b } => {
+                self.session_transition(now, a, b, true);
+                return;
+            }
         };
 
+        self.apply_output(now, router_id, rfd_session, output);
+    }
+
+    /// Drive one endpoint pair through a session reset transition and
+    /// apply each affected prefix's router output individually (so every
+    /// Loc-RIB change reaches the tap log).
+    fn session_transition(&mut self, now: SimTime, a: AsId, b: AsId, up: bool) {
+        if up {
+            self.down_links.remove(&(a, b));
+            self.down_links.remove(&(b, a));
+        } else {
+            self.down_links.insert((a, b));
+            self.down_links.insert((b, a));
+            self.fault_counters.session_resets += 1;
+        }
+        if self.trace.is_some() {
+            self.trace_fault(now, a, b, if up { "session_up" } else { "session_down" });
+        }
+        for (router_id, peer) in [(a, b), (b, a)] {
+            let Some(r) = self.routers.get_mut(&router_id) else {
+                continue;
+            };
+            let outs = if up {
+                r.session_up(peer, now)
+            } else {
+                r.session_down(peer, now)
+            };
+            for (prefix, output) in outs {
+                self.apply_output(now, router_id, Some((peer, prefix)), output);
+            }
+        }
+    }
+
+    /// Translate one router output into scheduled events, stats, trace
+    /// records and tap-log entries.
+    fn apply_output(
+        &mut self,
+        now: SimTime,
+        router_id: AsId,
+        rfd_session: Option<(AsId, Prefix)>,
+        output: crate::router::RouterOutput,
+    ) {
         self.stats.mrai_deferrals += u64::from(output.mrai_deferrals);
         if self.trace.is_some() {
             self.trace_output(now, router_id, rfd_session, &output);
@@ -554,6 +676,21 @@ impl Network {
                 trace.instant_sim("readvertise", lane, now_ms);
             }
         }
+    }
+
+    /// Record an injected fault on the link's interned fault lane. Only
+    /// called when a trace is attached (callers check), keeping the
+    /// untraced path at one branch.
+    fn trace_fault(&mut self, now: SimTime, a: AsId, b: AsId, what: &'static str) {
+        let trace = self.trace.as_mut().expect("caller checked");
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let next = self.fault_lanes.len() as u32;
+        let lane = *self.fault_lanes.entry(key).or_insert_with(|| {
+            let lane = obs::Lane::pair(3, next);
+            trace.set_lane_name(lane, &format!("fault {}-{}", key.0, key.1));
+            lane
+        });
+        trace.instant_sim(what, lane, now.as_millis());
     }
 
     /// Jittered delivery time that preserves per-link FIFO order.
@@ -899,6 +1036,90 @@ mod tests {
             .map(|e| e.lane)
             .unwrap();
         assert_eq!(trace.lane_name(lane), Some("rfd AS30<-AS20 10.0.7.0/24"));
+    }
+
+    #[test]
+    fn session_reset_drops_traffic_then_resyncs() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        // Force a reset on the only 10–20 link of a line network while a
+        // beacon announces; after the up-event the route must be back.
+        let mut net = line();
+        net.attach_tap(AsId(30));
+        let plan = FaultPlan::new(FaultSpec {
+            session_reset_rate: 1.0,
+            session_reset_duration: netsim::SimDuration::from_mins(2),
+            seed: 5,
+            ..FaultSpec::default()
+        });
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.apply_faults(&plan, SimDuration::from_mins(30));
+        net.run_to_quiescence();
+        assert!(net.faults_applied());
+        let counters = net.fault_counters();
+        assert_eq!(counters.session_resets, 2, "both links reset at rate 1");
+        // After every reset healed, the chain re-converges on the route.
+        assert!(
+            net.router(AsId(30)).unwrap().best(pfx()).is_some(),
+            "route must re-establish after session up"
+        );
+        // The reset produced visible churn at the vantage point.
+        let log = net.tap_log();
+        assert!(log.last().unwrap().route.is_some());
+    }
+
+    #[test]
+    fn session_reset_is_deterministic_and_traced() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        let run = |traced: bool| {
+            let mut net = line();
+            net.attach_tap(AsId(30));
+            if traced {
+                net.set_trace(obs::TraceBuffer::new(4096));
+            }
+            let plan = FaultPlan::new(FaultSpec {
+                session_reset_rate: 1.0,
+                session_reset_duration: netsim::SimDuration::from_mins(2),
+                seed: 9,
+                ..FaultSpec::default()
+            });
+            net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+            net.apply_faults(&plan, SimDuration::from_mins(30));
+            net.run_to_quiescence();
+            net
+        };
+        let mut a = run(false);
+        let mut b = run(true);
+        assert_eq!(a.fault_counters(), b.fault_counters());
+        assert_eq!(
+            a.take_tap_log(),
+            b.take_tap_log(),
+            "tracing must not perturb"
+        );
+        let trace = b.take_trace().expect("trace attached");
+        assert!(
+            trace
+                .events()
+                .any(|e| e.name == "session_down" && e.kind == obs::TraceKind::Instant),
+            "session resets must land on the fault lane"
+        );
+        assert!(trace
+            .events()
+            .any(|e| e.name == "session_up" && e.kind == obs::TraceKind::Instant));
+        let lane = trace
+            .events()
+            .find(|e| e.name == "session_down")
+            .map(|e| e.lane)
+            .unwrap();
+        assert!(trace.lane_name(lane).unwrap().starts_with("fault "));
+    }
+
+    #[test]
+    fn no_fault_plan_keeps_counters_zero() {
+        let mut net = line();
+        net.schedule_announce(SimTime::ZERO, AsId(10), pfx(), true);
+        net.run_to_quiescence();
+        assert!(!net.faults_applied());
+        assert_eq!(net.fault_counters().total(), 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use netsim::SimTime;
 use crate::decision::{select_best, Candidate};
 use crate::message::{AggregatorStamp, AsId, AsPath, BgpAction, BgpUpdate};
 use crate::mrai::{MraiGate, MraiVerdict};
-use crate::policy::{ExportPolicy, SessionPolicy};
+use crate::policy::{ExportPolicy, Relationship, SessionPolicy};
 use crate::prefix::Prefix;
 use crate::rfd::{FlapKind, RfdTransition};
 use crate::rib::{AdjRibIn, Route};
@@ -312,6 +312,62 @@ impl Router {
         out
     }
 
+    /// The session to `peer` went down (e.g. a fault-injected reset).
+    ///
+    /// The per-session transient state resets with the TCP session: the
+    /// Adj-RIB-Out is forgotten (the peer no longer holds our routes)
+    /// and the MRAI gate discards its pending/coalesced updates. Every
+    /// route learned on the session is implicitly withdrawn *through the
+    /// normal RFD-aware path*, so the flap penalty accrues exactly as
+    /// RFC 2439 prescribes for session loss. Returns one output per
+    /// affected prefix (deterministic prefix order) so the driver can
+    /// record each Loc-RIB change individually.
+    pub fn session_down(&mut self, peer: AsId, now: SimTime) -> Vec<(Prefix, RouterOutput)> {
+        let Some(neighbor) = self.neighbors.get_mut(&peer) else {
+            return Vec::new();
+        };
+        neighbor.adj_out.clear();
+        neighbor.mrai = MraiGate::new(neighbor.policy.mrai);
+        let prefixes: Vec<Prefix> = neighbor
+            .adj_in
+            .iter()
+            .filter(|(_, e)| e.route.is_some())
+            .map(|(p, _)| *p)
+            .collect();
+        prefixes
+            .into_iter()
+            .map(|prefix| {
+                (
+                    prefix,
+                    self.handle_update(peer, BgpUpdate::withdraw(prefix), now),
+                )
+            })
+            .collect()
+    }
+
+    /// The session to `peer` re-established after a reset.
+    ///
+    /// BGP re-syncs a fresh session with a full table exchange: clear
+    /// the (stale) Adj-RIB-Out and MRAI gate, then re-advertise the
+    /// entire Loc-RIB towards this peer. On the peer's side each
+    /// arriving announcement classifies as a re-advertisement flap —
+    /// the RFD penalty cost of a session reset.
+    pub fn session_up(&mut self, peer: AsId, now: SimTime) -> Vec<(Prefix, RouterOutput)> {
+        let Some(neighbor) = self.neighbors.get_mut(&peer) else {
+            return Vec::new();
+        };
+        neighbor.adj_out.clear();
+        neighbor.mrai = MraiGate::new(neighbor.policy.mrai);
+        let prefixes: Vec<Prefix> = self.loc_rib.keys().copied().collect();
+        prefixes
+            .into_iter()
+            .map(|prefix| {
+                let sel = self.loc_rib.get(&prefix).cloned();
+                (prefix, self.export_to(peer, prefix, sel.as_ref(), now))
+            })
+            .collect()
+    }
+
     /// Originate (announce) `prefix` locally, with an optional beacon stamp.
     pub fn originate(
         &mut self,
@@ -403,63 +459,125 @@ impl Router {
 
         let mut out = RouterOutput::default();
         for (&peer, neighbor) in &mut self.neighbors {
-            // Desired route towards this peer.
-            let desired: Option<Route> = match selection {
-                None => None,
-                Some(sel) => {
-                    // Split horizon (never advertise back to the peer the
-                    // route was learned from) or export policy forbids.
-                    if learned_from == Some(peer)
-                        || !ExportPolicy::permits(learned_rel, neighbor.policy.relationship)
-                    {
-                        None
-                    } else {
-                        let base = sel.exported_view(own);
-                        let extra = neighbor.policy.prepend_extra;
-                        Some(Route {
-                            path: if extra > 0 {
-                                base.path.prepend(own, extra)
-                            } else {
-                                base.path
-                            },
-                            aggregator: base.aggregator,
-                        })
-                    }
-                }
-            };
+            Self::export_one(
+                own,
+                peer,
+                neighbor,
+                prefix,
+                selection,
+                learned_from,
+                learned_rel,
+                now,
+                &mut out,
+            );
+        }
+        out
+    }
 
-            let current = neighbor.adj_out.get(&prefix);
-            if current == desired.as_ref() {
-                continue;
+    /// [`Router::export`] restricted to one peer — used by
+    /// [`Router::session_up`] to re-sync a re-established session.
+    fn export_to(
+        &mut self,
+        peer: AsId,
+        prefix: Prefix,
+        selection: Option<&Selection>,
+        now: SimTime,
+    ) -> RouterOutput {
+        let own = self.asn;
+        let (learned_from, learned_rel) = match selection {
+            Some(Selection::Learned { neighbor, .. }) => {
+                let rel = self.neighbors[neighbor].policy.relationship;
+                (Some(*neighbor), Some(rel))
             }
-            let update = match &desired {
-                Some(route) => BgpUpdate::announce(prefix, route.path.clone(), route.aggregator),
-                None => {
-                    if current.is_none() {
-                        continue; // never advertised, nothing to withdraw
-                    }
-                    BgpUpdate::withdraw(prefix)
-                }
-            };
-            match desired {
-                Some(route) => {
-                    neighbor.adj_out.insert(prefix, route);
-                }
-                None => {
-                    neighbor.adj_out.remove(&prefix);
+            _ => (None, None),
+        };
+        let mut out = RouterOutput::default();
+        if let Some(neighbor) = self.neighbors.get_mut(&peer) {
+            Self::export_one(
+                own,
+                peer,
+                neighbor,
+                prefix,
+                selection,
+                learned_from,
+                learned_rel,
+                now,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// The per-neighbor half of the export diff: decide the desired
+    /// advertisement, diff it against the Adj-RIB-Out, and push the
+    /// resulting update through the MRAI gate.
+    #[allow(clippy::too_many_arguments)]
+    fn export_one(
+        own: AsId,
+        peer: AsId,
+        neighbor: &mut Neighbor,
+        prefix: Prefix,
+        selection: Option<&Selection>,
+        learned_from: Option<AsId>,
+        learned_rel: Option<Relationship>,
+        now: SimTime,
+        out: &mut RouterOutput,
+    ) {
+        // Desired route towards this peer.
+        let desired: Option<Route> = match selection {
+            None => None,
+            Some(sel) => {
+                // Split horizon (never advertise back to the peer the
+                // route was learned from) or export policy forbids.
+                if learned_from == Some(peer)
+                    || !ExportPolicy::permits(learned_rel, neighbor.policy.relationship)
+                {
+                    None
+                } else {
+                    let base = sel.exported_view(own);
+                    let extra = neighbor.policy.prepend_extra;
+                    Some(Route {
+                        path: if extra > 0 {
+                            base.path.prepend(own, extra)
+                        } else {
+                            base.path
+                        },
+                        aggregator: base.aggregator,
+                    })
                 }
             }
-            match neighbor.mrai.submit(update, now) {
-                MraiVerdict::SendNow(u) => out.sends.push((peer, u)),
-                MraiVerdict::Deferred { at, arm } => {
-                    out.mrai_deferrals += 1;
-                    if arm {
-                        out.mrai_timers.push((peer, prefix, at));
-                    }
+        };
+
+        let current = neighbor.adj_out.get(&prefix);
+        if current == desired.as_ref() {
+            return;
+        }
+        let update = match &desired {
+            Some(route) => BgpUpdate::announce(prefix, route.path.clone(), route.aggregator),
+            None => {
+                if current.is_none() {
+                    return; // never advertised, nothing to withdraw
+                }
+                BgpUpdate::withdraw(prefix)
+            }
+        };
+        match desired {
+            Some(route) => {
+                neighbor.adj_out.insert(prefix, route);
+            }
+            None => {
+                neighbor.adj_out.remove(&prefix);
+            }
+        }
+        match neighbor.mrai.submit(update, now) {
+            MraiVerdict::SendNow(u) => out.sends.push((peer, u)),
+            MraiVerdict::Deferred { at, arm } => {
+                out.mrai_deferrals += 1;
+                if arm {
+                    out.mrai_timers.push((peer, prefix, at));
                 }
             }
         }
-        out
     }
 }
 
@@ -803,5 +921,89 @@ mod tests {
         );
         // The new best is customer-learned → exported to the provider.
         assert!(out.sends.iter().any(|(to, _)| *to == AsId(3)));
+    }
+
+    #[test]
+    fn session_down_withdraws_learned_routes_and_propagates() {
+        let mut r = sample_router();
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        assert!(r.best(pfx()).is_some());
+        let outs = r.session_down(AsId(2), SimTime::from_secs(10));
+        assert_eq!(outs.len(), 1);
+        let (prefix, out) = &outs[0];
+        assert_eq!(*prefix, pfx());
+        // The loss propagates downstream as a withdrawal to AS3.
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, u)| *to == AsId(3) && matches!(u.action, BgpAction::Withdraw)));
+        assert!(r.best(pfx()).is_none());
+    }
+
+    #[test]
+    fn session_down_accrues_rfd_penalty() {
+        let params = VendorProfile::Cisco.params();
+        let mut r = Router::new(AsId(1));
+        r.add_session(AsId(2), plain(Relationship::Customer).with_rfd(params));
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        let before = r
+            .rfd_penalty(AsId(2), pfx(), SimTime::from_secs(10))
+            .unwrap();
+        r.session_down(AsId(2), SimTime::from_secs(10));
+        let after = r
+            .rfd_penalty(AsId(2), pfx(), SimTime::from_secs(10))
+            .unwrap();
+        assert!(
+            after > before,
+            "session loss must be penalised as a flap ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn session_up_resyncs_full_loc_rib_to_peer() {
+        let mut r = sample_router();
+        // AS1 originates one prefix and learns another from AS3.
+        let other: Prefix = "10.0.1.0/24".parse().unwrap();
+        r.originate(pfx(), None, SimTime::ZERO);
+        r.handle_update(
+            AsId(3),
+            BgpUpdate::announce(other, AsPath::from_slice(&[AsId(3)]), None),
+            SimTime::ZERO,
+        );
+        // Session to the customer AS2 resets.
+        r.session_down(AsId(2), SimTime::from_secs(5));
+        let outs = r.session_up(AsId(2), SimTime::from_secs(65));
+        // Both Loc-RIB prefixes re-advertise towards the customer.
+        let announced: Vec<Prefix> = outs
+            .iter()
+            .flat_map(|(_, out)| out.sends.iter())
+            .filter(|(to, u)| *to == AsId(2) && u.action.is_announce())
+            .map(|(_, u)| u.prefix)
+            .collect();
+        assert!(announced.contains(&pfx()), "origin must re-advertise");
+        assert!(
+            announced.contains(&other),
+            "learned route must re-advertise"
+        );
+    }
+
+    #[test]
+    fn session_up_readvertisement_flap_classifies_on_receiver() {
+        // The receiving side of a re-established session sees the full
+        // re-sync as re-advertisement flaps.
+        let mut r = sample_router();
+        r.handle_update(AsId(2), announce_from(2), SimTime::ZERO);
+        r.session_down(AsId(2), SimTime::from_secs(10));
+        let entry = r.neighbors[&AsId(2)].adj_in.get(pfx()).unwrap();
+        assert!(entry.route.is_none(), "session loss withdraws the route");
+        assert!(entry.ever_announced, "history survives the reset");
+    }
+
+    #[test]
+    fn session_down_without_session_or_routes_is_silent() {
+        let mut r = sample_router();
+        assert!(r.session_down(AsId(99), SimTime::ZERO).is_empty());
+        assert!(r.session_down(AsId(2), SimTime::ZERO).is_empty());
+        assert!(r.session_up(AsId(99), SimTime::ZERO).is_empty());
     }
 }

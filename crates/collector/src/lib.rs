@@ -23,5 +23,5 @@
 pub mod dump;
 pub mod project;
 
-pub use dump::{Dump, UpdateRecord};
+pub use dump::{Dump, DumpIntegrity, IntegrityConfig, UpdateRecord};
 pub use project::{CollectorConfig, CollectorSet, Project};

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use bgpsim::{AsId, TapRecord};
+use netsim::faults::{ExportFault, FaultCounters, FaultPlan};
 use netsim::{SimDuration, SimRng, SimTime};
 
 use crate::dump::{Dump, UpdateRecord};
@@ -153,6 +154,23 @@ impl CollectorSet {
     /// `horizon` is the campaign end: blackout windows are placed inside
     /// `[0, horizon)`.
     pub fn process(&self, taps: &[TapRecord], config: &CollectorConfig, horizon: SimTime) -> Dump {
+        self.process_with_faults(taps, config, horizon, None, &mut FaultCounters::default())
+    }
+
+    /// [`CollectorSet::process`] with an optional injected [`FaultPlan`].
+    ///
+    /// With `plan = None` this is byte-identical to `process`: the fault
+    /// machinery draws only from the plan's own decorrelated streams, so
+    /// enabling it never perturbs the collector-noise sequence. Every
+    /// injected fault is tallied in `counters`.
+    pub fn process_with_faults(
+        &self,
+        taps: &[TapRecord],
+        config: &CollectorConfig,
+        horizon: SimTime,
+        plan: Option<&FaultPlan>,
+        counters: &mut FaultCounters,
+    ) -> Dump {
         let mut rng = SimRng::new(config.seed).split("collector-noise");
 
         // Pre-draw blackout windows per VP (deterministic per seed).
@@ -166,6 +184,33 @@ impl CollectorSet {
             }
         }
 
+        // Materialise per-VP faults up front (pure functions of the plan).
+        let mut vp_faults: BTreeMap<AsId, VpFaults> = BTreeMap::new();
+        if let Some(plan) = plan {
+            let horizon_dur = horizon.saturating_since(SimTime::ZERO);
+            for &vp in self.assignments.keys() {
+                let id = u64::from(vp.0);
+                let faults = VpFaults {
+                    outage: plan.vp_outage(id, horizon_dur),
+                    clock_skew_ms: plan.clock_skew_ms(id),
+                    export: plan.export_fault(id, horizon_dur),
+                };
+                if faults.outage.is_some() {
+                    counters.vp_outages += 1;
+                }
+                if faults.clock_skew_ms != 0 {
+                    counters.clock_skewed_vps += 1;
+                }
+                if !faults.export.delay.is_zero() {
+                    counters.exports_delayed += 1;
+                }
+                vp_faults.insert(vp, faults);
+            }
+        }
+        // Sequential per-record decision streams, one per VP so the
+        // outcome is independent of how taps interleave across VPs.
+        let mut vp_streams: BTreeMap<AsId, SimRng> = BTreeMap::new();
+
         let mut records = Vec::with_capacity(taps.len());
         for tap in taps {
             let Some(project) = self.project_of(tap.vantage) else {
@@ -176,7 +221,51 @@ impl CollectorSet {
                     continue; // session was down
                 }
             }
-            let exported_at = project.export_time(tap.time, &mut rng);
+            let faults = vp_faults.get(&tap.vantage);
+            if let Some(f) = faults {
+                if let Some((o0, o1)) = f.outage {
+                    if tap.time >= o0 && tap.time < o1 {
+                        counters.records_outage_dropped += 1;
+                        continue; // vantage point was dark
+                    }
+                }
+                if let Some(cut) = f.export.truncate_at {
+                    if tap.time >= cut {
+                        counters.records_truncated += 1;
+                        continue; // dump was truncated before this record
+                    }
+                }
+            }
+            // Per-record fault draws, in a fixed order (loss, dup, skew)
+            // so the stream stays aligned whatever the rates are.
+            let mut duplicate = false;
+            let mut reorder_skew_ms = 0u64;
+            if let Some(plan) = plan {
+                let frng = vp_streams.entry(tap.vantage).or_insert_with(|| {
+                    plan.stream("records")
+                        .split_index("vp", u64::from(tap.vantage.0))
+                });
+                let spec = plan.spec();
+                if frng.chance(spec.loss_rate) {
+                    counters.records_lost += 1;
+                    continue;
+                }
+                duplicate = frng.chance(spec.duplication_rate);
+                if frng.chance(spec.reorder_rate) {
+                    reorder_skew_ms = frng.below(spec.reorder_skew.as_millis().max(1));
+                }
+            }
+            let mut exported_at = project.export_time(tap.time, &mut rng);
+            if let Some(f) = faults {
+                let mut ms = exported_at.as_millis() as i64;
+                if reorder_skew_ms > 0 {
+                    counters.records_reordered += 1;
+                    ms += reorder_skew_ms as i64;
+                }
+                ms += f.clock_skew_ms;
+                ms += f.export.delay.as_millis() as i64;
+                exported_at = SimTime::from_millis(ms.max(0) as u64);
+            }
             let (path, mut aggregator) = match &tap.route {
                 Some(route) => (Some(route.path.clone()), route.aggregator),
                 None => (None, None),
@@ -186,7 +275,7 @@ impl CollectorSet {
                     aggregator = Some(stamp.corrupted());
                 }
             }
-            records.push(UpdateRecord {
+            let record = UpdateRecord {
                 project,
                 vantage: tap.vantage,
                 prefix: tap.prefix,
@@ -194,11 +283,24 @@ impl CollectorSet {
                 exported_at,
                 path,
                 aggregator,
-            });
+            };
+            if duplicate {
+                counters.records_duplicated += 1;
+                records.push(record.clone());
+            }
+            records.push(record);
         }
         records.sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
         Dump::new(records)
     }
+}
+
+/// The materialised per-vantage-point faults for one processing pass.
+#[derive(Clone, Copy, Debug)]
+struct VpFaults {
+    outage: Option<(SimTime, SimTime)>,
+    clock_skew_ms: i64,
+    export: ExportFault,
 }
 
 #[cfg(test)]
@@ -329,6 +431,151 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort();
         assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn process_with_no_plan_matches_process() {
+        let set = CollectorSet::assign(&vps(), 4);
+        let taps: Vec<TapRecord> = (0..40)
+            .map(|i| tap(1 + (i % 9) as u32, 30 * i, true))
+            .collect();
+        let cfg = CollectorConfig {
+            aggregator_corruption: 0.5,
+            session_reset_rate: 0.3,
+            ..CollectorConfig::default()
+        };
+        let horizon = SimTime::from_mins(60);
+        let plain = set.process(&taps, &cfg, horizon);
+        let mut counters = netsim::faults::FaultCounters::default();
+        let faulted = set.process_with_faults(&taps, &cfg, horizon, None, &mut counters);
+        assert_eq!(plain.records(), faulted.records());
+        assert_eq!(counters.total(), 0);
+    }
+
+    #[test]
+    fn vp_outage_drops_records_and_counts() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let plan = FaultPlan::new(FaultSpec {
+            vp_outage_rate: 1.0,
+            vp_outage_duration: SimDuration::from_hours(1000),
+            seed: 5,
+            ..FaultSpec::default()
+        });
+        let taps: Vec<TapRecord> = (0..20).map(|i| tap(1, 60 * i, true)).collect();
+        let mut counters = netsim::faults::FaultCounters::default();
+        // Horizon of 10 min < last tap (19 min): wherever the (endless)
+        // outage window starts inside the horizon, some taps fall in it.
+        let dump = set.process_with_faults(
+            &taps,
+            &CollectorConfig::clean(),
+            SimTime::from_mins(10),
+            Some(&plan),
+            &mut counters,
+        );
+        assert_eq!(counters.vp_outages, 1);
+        assert!(counters.records_outage_dropped > 0);
+        assert_eq!(dump.len() as u64 + counters.records_outage_dropped, 20);
+    }
+
+    #[test]
+    fn duplication_doubles_and_loss_halves() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let taps: Vec<TapRecord> = (0..10).map(|i| tap(1, 60 * i, true)).collect();
+        let horizon = SimTime::from_mins(30);
+        let dup_plan = FaultPlan::new(FaultSpec {
+            duplication_rate: 1.0,
+            seed: 6,
+            ..FaultSpec::default()
+        });
+        let mut counters = netsim::faults::FaultCounters::default();
+        let dump = set.process_with_faults(
+            &taps,
+            &CollectorConfig::clean(),
+            horizon,
+            Some(&dup_plan),
+            &mut counters,
+        );
+        assert_eq!(dump.len(), 20);
+        assert_eq!(counters.records_duplicated, 10);
+
+        let loss_plan = FaultPlan::new(FaultSpec {
+            loss_rate: 1.0,
+            seed: 6,
+            ..FaultSpec::default()
+        });
+        let mut counters = netsim::faults::FaultCounters::default();
+        let dump = set.process_with_faults(
+            &taps,
+            &CollectorConfig::clean(),
+            horizon,
+            Some(&loss_plan),
+            &mut counters,
+        );
+        assert!(dump.is_empty());
+        assert_eq!(counters.records_lost, 10);
+    }
+
+    #[test]
+    fn faulted_processing_is_deterministic_and_stays_sorted() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        let set = CollectorSet::assign(&vps(), 4);
+        let taps: Vec<TapRecord> = (0..60)
+            .map(|i| tap(1 + (i % 9) as u32, 30 * i, true))
+            .collect();
+        let plan = FaultPlan::new(FaultSpec::drill(21));
+        let horizon = SimTime::from_mins(60);
+        let run = || {
+            let mut counters = netsim::faults::FaultCounters::default();
+            let dump = set.process_with_faults(
+                &taps,
+                &CollectorConfig::default(),
+                horizon,
+                Some(&plan),
+                &mut counters,
+            );
+            (dump, counters)
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(ca, cb);
+        let times: Vec<SimTime> = a.records().iter().map(|r| r.exported_at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "final sort restores export order");
+    }
+
+    #[test]
+    fn clock_skew_can_push_export_before_observation() {
+        use netsim::faults::{FaultPlan, FaultSpec};
+        let set = CollectorSet::single(&[AsId(1)], Project::Isolario);
+        let plan = FaultPlan::new(FaultSpec {
+            clock_skew: SimDuration::from_hours(2),
+            seed: 1,
+            ..FaultSpec::default()
+        });
+        let taps: Vec<TapRecord> = (0..6).map(|i| tap(1, 3600 * (i + 1), true)).collect();
+        let mut counters = netsim::faults::FaultCounters::default();
+        let dump = set.process_with_faults(
+            &taps,
+            &CollectorConfig::clean(),
+            SimTime::from_mins(480),
+            Some(&plan),
+            &mut counters,
+        );
+        assert_eq!(counters.clock_skewed_vps, 1);
+        let skew = plan.clock_skew_ms(1);
+        assert_ne!(skew, 0, "seed 1 must skew VP 1 for this test to bite");
+        if skew < 0 {
+            assert!(dump.records().iter().any(|r| r.exported_at < r.observed_at));
+        } else {
+            assert!(dump
+                .records()
+                .iter()
+                .all(|r| r.exported_at >= r.observed_at));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use netsim::SimRng;
 
 use crate::category::Category;
-use crate::chain::{run_chains_observed, Chain, ChainConfig};
+use crate::chain::{Chain, ChainConfig};
 use crate::diagnostics;
 use crate::hmc::Hmc;
 use crate::mh::MetropolisHastings;
@@ -22,6 +22,7 @@ use crate::progress::{
     ChainPhase, ProgressObserver, ProgressSnapshot, StderrTicker, TraceProgress,
 };
 use crate::summary::Marginal;
+use crate::supervisor::{run_chains_supervised, SupervisorConfig};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -126,6 +127,18 @@ impl AsReport {
     }
 }
 
+/// A chain that did not complete under supervision (panicked, timed out,
+/// or failed to restore its checkpoint).
+#[derive(Clone, Debug)]
+pub struct ChainFailure {
+    /// Kernel the chain belonged to (`"MH"` / `"HMC"`).
+    pub kernel: &'static str,
+    /// The `run_chains` index of the failed chain.
+    pub chain_index: usize,
+    /// Panic message, timeout phase, or checkpoint error.
+    pub reason: String,
+}
+
 /// The complete analysis output.
 #[derive(Clone, Debug)]
 pub struct Analysis {
@@ -146,6 +159,13 @@ pub struct Analysis {
     /// Merged per-chain progress trace (lanes: MH chains, then HMC
     /// chains), when [`AnalysisConfig::trace`] was set.
     pub trace: Option<obs::TraceBuffer>,
+    /// Chains that did not complete (poisoned/timed out); the pooled
+    /// summaries above are built from the surviving chains only.
+    pub failures: Vec<ChainFailure>,
+    /// Chains restored from a checkpoint in this run.
+    pub resumed_chains: usize,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: u64,
 }
 
 /// Per-chain observer combining the optional stderr ticker and the
@@ -198,7 +218,28 @@ impl ProgressObserver for RunObserver {
 
 impl Analysis {
     /// Run the full pipeline.
+    ///
+    /// Delegates to [`Self::run_supervised`] with a default (fully
+    /// disabled) [`SupervisorConfig`] — the supervised driver with no
+    /// supervision enabled is draw-for-draw identical to the historic
+    /// plain driver.
     pub fn run(data: &PathData, config: &AnalysisConfig) -> Analysis {
+        Self::run_supervised(data, config, &SupervisorConfig::default())
+    }
+
+    /// Run the full pipeline under chain supervision: per-chain panic
+    /// isolation, an optional wall-clock watchdog, and checkpoint/resume
+    /// (see [`crate::supervisor`]). MH checkpoints use tag `"mh"`, HMC
+    /// `"hmc"`, so both kernels share one checkpoint base path.
+    ///
+    /// Chains that fail are recorded in [`Analysis::failures`] and
+    /// excluded from pooling; the campaign completes with whatever
+    /// chains survive.
+    pub fn run_supervised(
+        data: &PathData,
+        config: &AnalysisConfig,
+        sup: &SupervisorConfig,
+    ) -> Analysis {
         assert!(
             config.run_mh || config.run_hmc,
             "enable at least one kernel"
@@ -223,18 +264,37 @@ impl Analysis {
             }
         };
 
+        let mut failures: Vec<ChainFailure> = Vec::new();
+        let mut resumed_chains = 0usize;
+        let mut checkpoints_written = 0u64;
+
         let mh_watch = obs::Stopwatch::start();
         let (mh_chains, mh_observers): (Vec<Chain>, Vec<RunObserver>) = if config.run_mh {
             let mh_rng = rng.split("mh");
-            run_chains_observed(
+            let run = run_chains_supervised(
                 |_k, r: &mut SimRng| MetropolisHastings::from_prior(data, config.prior, r),
                 make_observer(0),
                 config.n_chains,
                 &config.chain,
                 &mh_rng,
-            )
-            .into_iter()
-            .unzip()
+                sup,
+                "mh",
+            );
+            resumed_chains += run.resumed_chains();
+            checkpoints_written += run.checkpoints_written();
+            let (done, failed) = run.into_parts();
+            failures.extend(
+                failed
+                    .into_iter()
+                    .map(|(chain_index, reason)| ChainFailure {
+                        kernel: "MH",
+                        chain_index,
+                        reason,
+                    }),
+            );
+            done.into_iter()
+                .map(|(_, chain, obs)| (chain, obs.expect("completed chain keeps its observer")))
+                .unzip()
         } else {
             (Vec::new(), Vec::new())
         };
@@ -251,15 +311,30 @@ impl Analysis {
         };
         let (hmc_chains, hmc_observers): (Vec<Chain>, Vec<RunObserver>) = if config.run_hmc {
             let hmc_rng = rng.split("hmc");
-            run_chains_observed(
+            let run = run_chains_supervised(
                 |_k, r: &mut SimRng| Hmc::from_prior(data, config.prior, r),
                 make_observer(hmc_lane_base),
                 config.n_chains,
                 &config.chain,
                 &hmc_rng,
-            )
-            .into_iter()
-            .unzip()
+                sup,
+                "hmc",
+            );
+            resumed_chains += run.resumed_chains();
+            checkpoints_written += run.checkpoints_written();
+            let (done, failed) = run.into_parts();
+            failures.extend(
+                failed
+                    .into_iter()
+                    .map(|(chain_index, reason)| ChainFailure {
+                        kernel: "HMC",
+                        chain_index,
+                        reason,
+                    }),
+            );
+            done.into_iter()
+                .map(|(_, chain, obs)| (chain, obs.expect("completed chain keeps its observer")))
+                .unzip()
         } else {
             (Vec::new(), Vec::new())
         };
@@ -355,6 +430,9 @@ impl Analysis {
             mh_secs,
             hmc_secs,
             trace,
+            failures,
+            resumed_chains,
+            checkpoints_written,
         }
     }
 
@@ -387,6 +465,17 @@ impl Analysis {
             .section("because.diagnostics")
             .gauge("max_r_hat", self.max_r_hat)
             .counter("unexplained_paths", self.unexplained_paths as u64);
+        if !self.failures.is_empty() || self.resumed_chains > 0 || self.checkpoints_written > 0 {
+            let section = report.section("because.supervisor");
+            section
+                .counter("chains_failed", self.failures.len() as u64)
+                .counter("chains_resumed", self.resumed_chains as u64)
+                .counter("checkpoints_written", self.checkpoints_written);
+            for f in &self.failures {
+                // One named entry per failed chain, e.g. `failed.MH.1`.
+                section.counter(&format!("failed.{}.{}", f.kernel, f.chain_index), 1);
+            }
+        }
         if let Some(trace) = &self.trace {
             trace.export_into(report.section("because.trace"));
         }
@@ -630,6 +719,72 @@ mod tests {
         let mut report = obs::RunReport::new("t");
         traced.export_obs(&mut report);
         assert!(report.get("because.trace").is_some());
+    }
+
+    #[test]
+    fn supervised_resume_reproduces_uninterrupted_run() {
+        let obs = observations(&[(&[1], true), (&[1, 3], true), (&[2], false)], 10);
+        let data = PathData::from_observations(&obs, &[]);
+        let cfg = AnalysisConfig {
+            chain: ChainConfig {
+                warmup: 80,
+                samples: 120,
+                thin: 1,
+            },
+            n_chains: 2,
+            ..AnalysisConfig::fast(11)
+        };
+        let mut base = std::env::temp_dir();
+        base.push(format!("because-analysis-resume-{}", std::process::id()));
+
+        let uninterrupted = Analysis::run(&data, &cfg);
+        assert!(uninterrupted.failures.is_empty());
+        assert_eq!(uninterrupted.checkpoints_written, 0);
+
+        let stop = SupervisorConfig {
+            checkpoint: Some(base.clone()),
+            checkpoint_every: 25,
+            stop_after_draws: Some(40),
+            ..Default::default()
+        };
+        let first = Analysis::run_supervised(&data, &cfg, &stop);
+        // Both kernels × both chains interrupted, each with checkpoints.
+        assert_eq!(first.failures.len(), 4);
+        assert!(first.checkpoints_written >= 4);
+
+        let resume = SupervisorConfig {
+            resume: Some(base.clone()),
+            ..Default::default()
+        };
+        let second = Analysis::run_supervised(&data, &cfg, &resume);
+        assert!(second.failures.is_empty(), "{:?}", second.failures);
+        assert_eq!(second.resumed_chains, 4);
+        for (a, b) in uninterrupted.mh_chains.iter().zip(&second.mh_chains) {
+            assert_eq!(a.flat(), b.flat(), "resumed MH chain differs");
+        }
+        for (a, b) in uninterrupted.hmc_chains.iter().zip(&second.hmc_chains) {
+            assert_eq!(a.flat(), b.flat(), "resumed HMC chain differs");
+        }
+        for (ra, rb) in uninterrupted.reports.iter().zip(&second.reports) {
+            assert_eq!(ra.category, rb.category);
+            assert_eq!(ra.mh.map(|m| m.mean), rb.mh.map(|m| m.mean));
+            assert_eq!(ra.hmc.map(|m| m.mean), rb.hmc.map(|m| m.mean));
+        }
+
+        // The resume surfaces in the run report; a default run stays
+        // silent.
+        let mut rep = obs::RunReport::new("t");
+        second.export_obs(&mut rep);
+        assert!(rep.get("because.supervisor").is_some());
+        let mut rep = obs::RunReport::new("t");
+        uninterrupted.export_obs(&mut rep);
+        assert!(rep.get("because.supervisor").is_none());
+
+        for tag in ["mh", "hmc"] {
+            for k in 0..2 {
+                let _ = std::fs::remove_file(crate::supervisor::chain_file(&base, tag, k));
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use netsim::SimRng;
 
 use crate::chain::{Sampler, SamplerKind};
+use crate::checkpoint::{CheckpointError, Checkpointable, Reader, Writer};
 use crate::likelihood::LogLikelihood;
 use crate::math::sigmoid;
 use crate::model::PathData;
@@ -255,6 +256,59 @@ impl Sampler for Hmc<'_> {
     }
 }
 
+impl Checkpointable for Hmc<'_> {
+    fn save_sampler(&self, w: &mut Writer) {
+        w.f64_slice(&self.theta);
+        w.f64_slice(&self.p);
+        w.f64(self.log_post);
+        w.f64_slice(&self.grad_theta);
+        w.usize(self.leapfrog_steps);
+        w.f64(self.step_size);
+        w.f64(self.mu);
+        w.f64(self.log_eps_bar);
+        w.f64(self.h_bar);
+        w.usize(self.adapt_iter);
+        w.bool(self.adapting);
+        w.u64(self.accepted);
+        w.u64(self.proposed);
+        w.u64(self.divergences);
+        w.u64(self.evals);
+    }
+
+    fn restore_sampler(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let n = self.theta.len();
+        let theta = r.f64_vec()?;
+        let p = r.f64_vec()?;
+        if theta.len() != n || p.len() != n {
+            return Err(CheckpointError::Mismatch(format!(
+                "HMC state dim {} vs dataset {n}",
+                theta.len()
+            )));
+        }
+        self.theta = theta;
+        self.p = p;
+        self.log_post = r.f64()?;
+        self.grad_theta = r.f64_vec()?;
+        self.leapfrog_steps = r.usize()?;
+        self.step_size = r.f64()?;
+        self.mu = r.f64()?;
+        self.log_eps_bar = r.f64()?;
+        self.h_bar = r.f64()?;
+        self.adapt_iter = r.usize()?;
+        self.adapting = r.bool()?;
+        self.accepted = r.u64()?;
+        self.proposed = r.u64()?;
+        self.divergences = r.u64()?;
+        self.evals = r.u64()?;
+        if self.grad_theta.len() != n || self.leapfrog_steps == 0 {
+            return Err(CheckpointError::Mismatch(
+                "HMC trajectory state inconsistent with dimension".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Hmc<'_> {
     /// One dual-averaging update after observing acceptance prob `alpha`.
     fn dual_average(&mut self, alpha: f64) {
@@ -409,6 +463,44 @@ mod tests {
         };
         assert_eq!(run(30), run(30));
         assert_ne!(run(30), run(31));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_draw_for_draw() {
+        let d = data(&[(&[1, 2], true), (&[2, 3], false), (&[3], true)], 6);
+        let mut rng = SimRng::new(23);
+        let mut s = Hmc::from_prior(&d, Prior::default(), &mut rng);
+        for it in 0..80 {
+            s.step(&mut rng);
+            s.adapt(it, 60); // adaptation freezes mid-run
+        }
+        let mut w = Writer::new();
+        s.save_sampler(&mut w);
+        let rng_state = rng.state();
+
+        let mut expect = Vec::new();
+        for _ in 0..40 {
+            s.step(&mut rng);
+            expect.push(s.state().to_vec());
+        }
+
+        let mut rng2 = SimRng::new(4242);
+        let mut s2 = Hmc::from_prior(&d, Prior::default(), &mut rng2);
+        let bytes = w.as_bytes().to_vec();
+        s2.restore_sampler(&mut Reader::new(&bytes)).unwrap();
+        let mut rng2 = SimRng::from_state(rng_state);
+        for row in &expect {
+            s2.step(&mut rng2);
+            assert_eq!(s2.state(), &row[..], "restored HMC chain diverged");
+        }
+
+        for cut in 0..bytes.len() {
+            let mut s3 = Hmc::new(&d, Prior::default(), vec![0.5; d.num_nodes()]);
+            assert!(
+                s3.restore_sampler(&mut Reader::new(&bytes[..cut])).is_err(),
+                "prefix {cut} restored without error"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod analysis;
 pub mod category;
 pub mod chain;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod hmc;
 pub mod likelihood;
@@ -55,10 +56,12 @@ pub mod pinpoint;
 pub mod prior;
 pub mod progress;
 pub mod summary;
+pub mod supervisor;
 
-pub use analysis::{Analysis, AnalysisConfig, AsReport};
+pub use analysis::{Analysis, AnalysisConfig, AsReport, ChainFailure};
 pub use category::Category;
 pub use chain::{Chain, SamplerKind};
+pub use checkpoint::{CheckpointError, Checkpointable};
 pub use likelihood::{LogLikelihood, DEFAULT_PARALLEL_THRESHOLD};
 pub use model::{NodeId, PathData, PathObservation, PathRef};
 pub use prior::Prior;
@@ -66,3 +69,6 @@ pub use progress::{
     ChainPhase, NoProgress, ProgressObserver, ProgressSnapshot, StderrTicker, TraceProgress,
 };
 pub use summary::Marginal;
+pub use supervisor::{
+    run_chains_supervised, ChainOutcome, SupervisedRun, SupervisorConfig, KILL_EXIT_CODE,
+};

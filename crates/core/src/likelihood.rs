@@ -306,6 +306,44 @@ impl<'a> IncrementalLikelihood<'a> {
         delta
     }
 
+    /// Serialize the caches bit-exactly for a checkpoint.
+    ///
+    /// The caches are stored as-is rather than rebuilt on restore: a
+    /// rebuild recomputes the sums from scratch and differs from the
+    /// drifted incremental values by ulps, which would break draw-for-draw
+    /// resume equivalence.
+    pub(crate) fn save_state(&self, w: &mut crate::checkpoint::Writer) {
+        w.f64_slice(&self.log_q);
+        w.f64_slice(&self.path_sum);
+        w.f64(self.total);
+        w.u64(self.commits);
+        w.u64(self.rebuild_every);
+    }
+
+    /// Restore caches saved by [`Self::save_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut crate::checkpoint::Reader<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let log_q = r.f64_vec()?;
+        let path_sum = r.f64_vec()?;
+        if log_q.len() != self.data.num_nodes() || path_sum.len() != self.data.num_paths() {
+            return Err(crate::checkpoint::CheckpointError::Mismatch(format!(
+                "likelihood cache sized {}x{}, dataset is {}x{}",
+                log_q.len(),
+                path_sum.len(),
+                self.data.num_nodes(),
+                self.data.num_paths()
+            )));
+        }
+        self.log_q = log_q;
+        self.path_sum = path_sum;
+        self.total = r.f64()?;
+        self.commits = r.u64()?;
+        self.rebuild_every = r.u64()?;
+        Ok(())
+    }
+
     /// Commit the move of `p_i` to `new_p`, updating caches.
     pub fn commit(&mut self, i: usize, new_p: f64, delta: f64) {
         let new_log_q = (1.0 - clamp_p(new_p)).ln();

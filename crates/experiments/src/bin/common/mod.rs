@@ -24,10 +24,34 @@
 //! * `--progress [every-n]` — stream per-chain sampler diagnostics
 //!   (accept rate, incremental split-R̂/min-ESS) to stderr every `n`
 //!   iterations (default 200).
+//!
+//! Robustness flags (all off by default — the default run is
+//! byte-identical to a build without them):
+//!
+//! * `--faults <spec>` (or `REPRO_FAULTS`) — inject deterministic
+//!   measurement-plane faults; `<spec>` is `key=value,…` per
+//!   [`netsim::faults::FaultSpec::parse`], or the word `drill` for a
+//!   representative mix. Injected faults are tallied in the `faults`
+//!   report section and coverage loss in `coverage`;
+//! * `--checkpoint <base>` (or `REPRO_CHECKPOINT`) — write per-chain
+//!   MCMC checkpoints to `<base>.<kernel>.<k>` every `--checkpoint-every`
+//!   draws (default 100, `REPRO_CHECKPOINT_EVERY`);
+//! * `--resume <base>` (or `REPRO_RESUME`) — resume each chain from its
+//!   checkpoint; resumed runs finish draw-for-draw identical to an
+//!   uninterrupted run. Missing files start fresh; corrupt files poison
+//!   only their chain (reported in `because.supervisor`);
+//! * `--timeout-secs <n>` (or `REPRO_TIMEOUT_SECS`) — per-chain
+//!   wall-clock watchdog; a timed-out sampling chain checkpoints first;
+//! * `REPRO_KILL_AFTER_DRAWS` — test hook: checkpoint then exit with
+//!   code 86 after N draws, simulating an external kill.
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use because::chain::ChainConfig;
-use because::{AnalysisConfig, Prior};
+use because::{AnalysisConfig, Prior, SupervisorConfig};
 use experiments::pipeline::ExperimentConfig;
+use netsim::faults::FaultSpec;
 use netsim::SimDuration;
 use topology::TopologyConfig;
 
@@ -80,13 +104,14 @@ pub fn cycles() -> usize {
 
 /// A single-interval experiment at the current scale. Simulator tracing
 /// switches on with `--trace` so the campaign's RFD/MRAI activity lands
-/// in the exported trace file.
+/// in the exported trace file; `--faults` arms the fault plan.
 pub fn experiment(interval_mins: u64, seed: u64) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::single_interval(interval_mins, seed);
     cfg.topology = topology_config(seed);
     cfg.cycles = cycles();
     cfg.break_duration = SimDuration::from_hours(2);
     cfg.trace = trace_path().is_some();
+    cfg.faults = faults_spec();
     cfg
 }
 
@@ -127,22 +152,31 @@ pub fn banner(what: &str) {
     println!();
 }
 
+/// Value of `--<name> <v>` or `--<name>=<v>`, when present.
+fn flag_value(name: &str) -> Option<String> {
+    let bare = format!("--{name}");
+    let assigned = format!("--{name}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == bare {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(assigned.as_str()) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// A flag's value, falling back to an environment variable.
+fn flag_or_env(name: &str, env: &str) -> Option<String> {
+    flag_value(name).or_else(|| std::env::var(env).ok().filter(|s| !s.is_empty()))
+}
+
 /// The `--report-json` destination, if any: `--report-json <path>`,
 /// `--report-json=<path>`, or the `REPRO_REPORT_JSON` variable.
 pub fn report_json_path() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--report-json" {
-            return args.next().map(std::path::PathBuf::from);
-        }
-        if let Some(path) = arg.strip_prefix("--report-json=") {
-            return Some(std::path::PathBuf::from(path));
-        }
-    }
-    std::env::var("REPRO_REPORT_JSON")
-        .ok()
-        .filter(|s| !s.is_empty())
-        .map(std::path::PathBuf::from)
+    flag_or_env("report-json", "REPRO_REPORT_JSON").map(std::path::PathBuf::from)
 }
 
 /// True when `--report` was passed: print the text report to stdout.
@@ -153,19 +187,57 @@ pub fn report_requested() -> bool {
 /// The `--trace` destination, if any: `--trace <path>`,
 /// `--trace=<path>`, or the `REPRO_TRACE` variable.
 pub fn trace_path() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            return args.next().map(std::path::PathBuf::from);
-        }
-        if let Some(path) = arg.strip_prefix("--trace=") {
-            return Some(std::path::PathBuf::from(path));
+    flag_or_env("trace", "REPRO_TRACE").map(std::path::PathBuf::from)
+}
+
+/// The fault plan spec from `--faults <spec>` / `REPRO_FAULTS`, if any.
+/// A malformed spec is a usage error: report it and exit 2 rather than
+/// silently running fault-free.
+pub fn faults_spec() -> Option<FaultSpec> {
+    let text = flag_or_env("faults", "REPRO_FAULTS")?;
+    match FaultSpec::parse(&text) {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("invalid --faults spec: {e}");
+            std::process::exit(2);
         }
     }
-    std::env::var("REPRO_TRACE")
-        .ok()
-        .filter(|s| !s.is_empty())
-        .map(std::path::PathBuf::from)
+}
+
+/// The chain supervisor settings from `--checkpoint` / `--resume` /
+/// `--checkpoint-every` / `--timeout-secs` (and their `REPRO_*`
+/// variables). All absent → the default supervisor, which reproduces
+/// the unsupervised run bitwise.
+pub fn supervisor_config() -> SupervisorConfig {
+    supervisor_config_tagged("")
+}
+
+/// [`supervisor_config`] with `.<tag>` appended to the checkpoint and
+/// resume base paths — for binaries that run several analyses in one
+/// process (per interval, per scenario), so their chain files never
+/// collide.
+pub fn supervisor_config_tagged(tag: &str) -> SupervisorConfig {
+    let with_tag = |base: String| -> PathBuf {
+        if tag.is_empty() {
+            PathBuf::from(base)
+        } else {
+            PathBuf::from(format!("{base}.{tag}"))
+        }
+    };
+    SupervisorConfig {
+        checkpoint: flag_or_env("checkpoint", "REPRO_CHECKPOINT").map(&with_tag),
+        resume: flag_or_env("resume", "REPRO_RESUME").map(&with_tag),
+        checkpoint_every: flag_or_env("checkpoint-every", "REPRO_CHECKPOINT_EVERY")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100),
+        wall_clock_timeout: flag_or_env("timeout-secs", "REPRO_TIMEOUT_SECS")
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Duration::from_secs),
+        stop_after_draws: None,
+        kill_after_draws: std::env::var("REPRO_KILL_AFTER_DRAWS")
+            .ok()
+            .and_then(|s| s.parse().ok()),
+    }
 }
 
 /// The `--progress [every-n]` cadence: `0` when the flag is absent, the

@@ -6,10 +6,13 @@
 //! update timeline observed at the vantage point for each path, plus the
 //! measured r-delta — the damped path's delayed re-advertisement.
 
+use std::collections::BTreeMap;
+
 use beacon::BeaconSchedule;
 use bgpsim::{AsId, Network, NetworkConfig, Relationship, SessionPolicy, VendorProfile};
+use netsim::faults::FaultPlan;
 use netsim::{SimDuration, SimTime};
-use signature::{label_dump, LabelingConfig};
+use signature::{label_dump_with_outages, LabelingConfig};
 
 #[path = "common/mod.rs"]
 mod common;
@@ -52,11 +55,35 @@ fn main() {
         1,
     );
     schedule.apply(&mut net);
+    let plan = common::faults_spec().map(FaultPlan::new);
+    let horizon_span = schedule.end() - SimTime::ZERO;
+    if let Some(plan) = &plan {
+        net.apply_faults(plan, horizon_span);
+    }
     net.run_to_quiescence();
 
     let taps = net.take_tap_log();
+    let mut fault_counters = net.fault_counters().clone();
     let set = collector::CollectorSet::single(&[AsId(31), AsId(32)], collector::Project::Isolario);
-    let dump = set.process(&taps, &collector::CollectorConfig::clean(), schedule.end());
+    let dump = set.process_with_faults(
+        &taps,
+        &collector::CollectorConfig::clean(),
+        schedule.end(),
+        plan.as_ref(),
+        &mut fault_counters,
+    );
+    let outages: BTreeMap<AsId, (SimTime, SimTime)> = plan
+        .as_ref()
+        .map(|plan| {
+            [AsId(31), AsId(32)]
+                .iter()
+                .filter_map(|&vp| {
+                    plan.vp_outage(u64::from(vp.0), horizon_span)
+                        .map(|window| (vp, window))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
 
     let burst_end = schedule.burst_end(0);
     println!(
@@ -93,8 +120,13 @@ fn main() {
     net.export_obs(reporter.report_mut());
     reporter.merge_trace(net.take_trace());
     reporter.report_mut().push_section(dump.obs_section());
+    if plan.is_some() {
+        reporter
+            .report_mut()
+            .push_section(fault_counters.obs_section());
+    }
 
-    let labels = label_dump(&dump, &schedule, &LabelingConfig::default());
+    let labels = label_dump_with_outages(&dump, &schedule, &LabelingConfig::default(), &outages);
     println!("path labels:");
     for l in &labels {
         let fmt = |v: Option<f64>| {
@@ -102,13 +134,14 @@ fn main() {
                 .unwrap_or_else(|| "-".to_string())
         };
         println!(
-            "  {}  rfd={}  pairs {}/{}  r-delta {} (from last update, §4.2), {} (from burst end, Fig. 13)",
+            "  {}  rfd={}  pairs {}/{}  r-delta {} (from last update, §4.2), {} (from burst end, Fig. 13){}",
             l.path,
             l.rfd,
             l.pairs_matching,
             l.pairs_total,
             fmt(l.mean_r_delta_mins()),
-            fmt(l.mean_break_delta_mins())
+            fmt(l.mean_break_delta_mins()),
+            if l.unobservable { "  [unobservable]" } else { "" }
         );
     }
     reporter

@@ -13,7 +13,7 @@
 //! Each marginal is printed as a 20-bin histogram over [0, 1].
 
 use because::Chain;
-use experiments::infer::infer_becauase_and_heuristics;
+use experiments::infer::infer_with_supervision;
 use experiments::pipeline::run_campaign;
 use experiments::report;
 use heuristics::HeuristicConfig;
@@ -53,13 +53,14 @@ fn main() {
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
     reporter.merge_trace(out.trace.clone());
-    let inf = infer_becauase_and_heuristics(
+    let inf = infer_with_supervision(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
+        &common::supervisor_config(),
     );
     let analysis = &inf.analysis;
-    analysis.export_obs(reporter.report_mut());
+    inf.export_obs(reporter.report_mut());
     reporter.merge_trace(analysis.trace.clone());
     let pooled = Chain::pooled(&analysis.hmc_chains);
 

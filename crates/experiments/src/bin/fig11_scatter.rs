@@ -6,7 +6,7 @@
 //! left, confident dampers top right, no-information ASs at the bottom
 //! around the prior mean.
 
-use experiments::infer::infer_becauase_and_heuristics;
+use experiments::infer::infer_with_supervision;
 use experiments::pipeline::run_campaign;
 use heuristics::HeuristicConfig;
 
@@ -20,12 +20,13 @@ fn main() {
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
     reporter.merge_trace(out.trace.clone());
-    let inf = infer_becauase_and_heuristics(
+    let inf = infer_with_supervision(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
+        &common::supervisor_config(),
     );
-    inf.analysis.export_obs(reporter.report_mut());
+    inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
 
     println!("as\tmean\tcertainty\tcategory\tinconsistent");

@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 
 use bgpsim::AsId;
-use experiments::infer::infer_becauase_and_heuristics;
+use experiments::infer::infer_with_supervision;
 use experiments::metrics::detectable_universe;
 use experiments::pipeline::run_campaign;
 use experiments::report;
@@ -32,10 +32,13 @@ fn main() {
     let mut common_universe: Option<BTreeSet<AsId>> = None;
     for &mins in &intervals {
         let out = run_campaign(&common::experiment(mins, seed));
-        let inf = infer_becauase_and_heuristics(
+        // One analysis per interval in the same process: tag the
+        // checkpoint files so the six runs never collide.
+        let inf = infer_with_supervision(
             &out,
             &common::analysis_config(seed),
             &HeuristicConfig::default(),
+            &common::supervisor_config_tagged(&format!("i{mins}")),
         );
         let universe = detectable_universe(&out);
         common_universe = Some(match common_universe {

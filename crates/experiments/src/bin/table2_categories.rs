@@ -7,7 +7,7 @@
 //! a C3 tail with no information, and a C4+C5 share around the planted
 //! deployment rate.
 
-use experiments::infer::infer_becauase_and_heuristics;
+use experiments::infer::infer_with_supervision;
 use experiments::pipeline::run_campaign;
 use experiments::report;
 use heuristics::HeuristicConfig;
@@ -22,12 +22,13 @@ fn main() {
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
     reporter.merge_trace(out.trace.clone());
-    let inf = infer_becauase_and_heuristics(
+    let inf = infer_with_supervision(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
+        &common::supervisor_config(),
     );
-    inf.analysis.export_obs(reporter.report_mut());
+    inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
 
     let counts = inf.analysis.category_counts();

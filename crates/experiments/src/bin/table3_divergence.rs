@@ -54,6 +54,7 @@ fn schedule_for(site: AsId, prefix: &str) -> BeaconSchedule {
 /// label, infer with both methods, and report the verdicts for `target`.
 fn run_case(
     reporter: &mut common::Reporter,
+    tag: &str,
     build: impl Fn(&mut Network),
     schedules: &[BeaconSchedule],
     vantage_points: &[AsId],
@@ -105,7 +106,10 @@ fn run_case(
         trace: reporter.trace_enabled(),
         ..AnalysisConfig::fast(common::seed())
     };
-    let analysis = because::Analysis::run(&data, &acfg);
+    // Three analyses share this process: tag the checkpoint files so
+    // the cases never collide.
+    let analysis =
+        because::Analysis::run_supervised(&data, &acfg, &common::supervisor_config_tagged(tag));
     reporter.merge_trace(analysis.trace.clone());
     let because_flag = analysis
         .report(NodeId(target.0))
@@ -148,6 +152,7 @@ fn main() {
         let damped_neighbors = [3356u32, 1299, 6453];
         let (b, h, _) = run_case(
             &mut reporter,
+            "verizon",
             |net| {
                 for (i, &x) in damped_neighbors.iter().enumerate() {
                     // Site under each damped neighbor, damped at 701.
@@ -200,6 +205,7 @@ fn main() {
     {
         let (b, h, _seen) = run_case(
             &mut reporter,
+            "jinx",
             |net| {
                 net.connect(AsId(65000), AsId(20), prov, cust.with_rfd(cisco), None);
                 net.connect(AsId(37474), AsId(20), prov.with_rfd(cisco), cust, None);
@@ -226,6 +232,7 @@ fn main() {
     {
         let (b, h, _) = run_case(
             &mut reporter,
+            "teksavvy",
             |net| {
                 net.connect(AsId(65000), AsId(30), prov, cust.with_rfd(cisco), None);
                 net.connect(AsId(5645), AsId(30), prov, cust, None);

@@ -6,7 +6,7 @@
 //! AS). The shape to reproduce: BeCAUSe precision ≥ heuristic precision,
 //! recall bounded by visibility, ROV recall below RFD recall.
 
-use experiments::infer::infer_becauase_and_heuristics;
+use experiments::infer::infer_with_supervision;
 use experiments::metrics::evaluate_against_oracle;
 use experiments::pipeline::run_campaign;
 use experiments::report;
@@ -26,12 +26,13 @@ fn main() {
     let out = run_campaign(&common::experiment(1, seed));
     reporter.merge(out.report.clone());
     reporter.merge_trace(out.trace.clone());
-    let inf = infer_becauase_and_heuristics(
+    let inf = infer_with_supervision(
         &out,
         &common::analysis_config(seed),
         &HeuristicConfig::default(),
+        &common::supervisor_config(),
     );
-    inf.analysis.export_obs(reporter.report_mut());
+    inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
     let interval = SimDuration::from_mins(1);
     let because_eval = evaluate_against_oracle(&out, &inf.because_flagged(), interval);

@@ -1,12 +1,67 @@
 //! Running BeCAUSe and the heuristics on a campaign's labeled paths.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use because::{Analysis, AnalysisConfig, NodeId, PathData, PathObservation};
+use because::{Analysis, AnalysisConfig, NodeId, PathData, PathObservation, SupervisorConfig};
 use bgpsim::AsId;
 use heuristics::{evaluate, HeuristicConfig, HeuristicScores};
 
 use crate::pipeline::CampaignOutput;
+
+/// What measurement-plane degradation cost the inference: paths whose
+/// Burst–Break evidence an outage swallowed are *unobservable* — they
+/// carry no signal either way — and are excluded from the BeCAUSe
+/// dataset rather than counted as clean.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Labeled paths in the campaign, observable or not.
+    pub paths_total: usize,
+    /// Paths excluded because faults left no observable Burst–Break pair.
+    pub paths_unobservable: usize,
+    /// Burst–Break pairs lost to outages across all paths.
+    pub pairs_unobservable: usize,
+    /// Per-AS count of unobservable paths crossing that AS — the
+    /// coverage each AS lost to measurement faults.
+    pub lost_paths_per_as: BTreeMap<AsId, u64>,
+}
+
+impl Coverage {
+    /// Tally coverage loss over a campaign's labels.
+    pub fn from_labels(labels: &[signature::LabeledPath]) -> Coverage {
+        let mut cov = Coverage {
+            paths_total: labels.len(),
+            ..Coverage::default()
+        };
+        for l in labels {
+            cov.pairs_unobservable += l.pairs_unobservable;
+            if l.unobservable {
+                cov.paths_unobservable += 1;
+                for &asn in l.path.asns() {
+                    *cov.lost_paths_per_as.entry(asn).or_insert(0) += 1;
+                }
+            }
+        }
+        cov
+    }
+
+    /// True when faults actually cost coverage.
+    pub fn is_degraded(&self) -> bool {
+        self.paths_unobservable > 0 || self.pairs_unobservable > 0
+    }
+
+    /// The `coverage` report section: totals plus one `lost.AS<n>`
+    /// counter per affected AS.
+    pub fn obs_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("coverage");
+        section.counter("paths_total", self.paths_total as u64);
+        section.counter("paths_unobservable", self.paths_unobservable as u64);
+        section.counter("pairs_unobservable", self.pairs_unobservable as u64);
+        for (asn, lost) in &self.lost_paths_per_as {
+            section.counter(&format!("lost.{asn}"), *lost);
+        }
+        section
+    }
+}
 
 /// Joint inference output.
 #[derive(Debug)]
@@ -19,6 +74,9 @@ pub struct InferenceOutput {
     pub heuristics: HeuristicScores,
     /// Heuristic decision threshold used.
     pub heuristic_threshold: f64,
+    /// Coverage lost to measurement-plane faults. All-zero (and absent
+    /// from reports) on fault-free runs.
+    pub coverage: Coverage,
 }
 
 impl InferenceOutput {
@@ -38,11 +96,22 @@ impl InferenceOutput {
             .into_iter()
             .collect()
     }
+
+    /// Export the analysis sections plus, on degraded runs, the
+    /// `coverage` section — fault-free reports stay unchanged.
+    pub fn export_obs(&self, report: &mut obs::RunReport) {
+        self.analysis.export_obs(report);
+        if self.coverage.is_degraded() {
+            report.push_section(self.coverage.obs_section());
+        }
+    }
 }
 
 /// Build the BeCAUSe dataset from labeled paths: one observation per
 /// Burst–Break pair (paths measured over many pairs carry more weight),
-/// beacon-site ASs excluded (known non-damping, §3.2).
+/// beacon-site ASs excluded (known non-damping, §3.2). Paths with no
+/// observable Burst–Break pair (a fault window ate their evidence) are
+/// excluded entirely — an unobserved path is not a clean path.
 pub fn path_data_from_labels(output: &CampaignOutput) -> PathData {
     let exclude: Vec<NodeId> = output
         .topology
@@ -53,6 +122,7 @@ pub fn path_data_from_labels(output: &CampaignOutput) -> PathData {
     let observations: Vec<PathObservation> = output
         .labels
         .iter()
+        .filter(|l| !l.unobservable)
         .flat_map(|l| {
             let nodes: Vec<NodeId> = l.path.asns().iter().map(|a| NodeId(a.0)).collect();
             // Weight by the number of pairs backing the label: matching
@@ -75,8 +145,25 @@ pub fn infer_becauase_and_heuristics(
     analysis_config: &AnalysisConfig,
     heuristic_config: &HeuristicConfig,
 ) -> InferenceOutput {
+    infer_with_supervision(
+        output,
+        analysis_config,
+        heuristic_config,
+        &SupervisorConfig::default(),
+    )
+}
+
+/// [`infer_becauase_and_heuristics`] under a chain supervisor:
+/// checkpoint/resume, per-chain panic isolation and a wall-clock
+/// watchdog. The default supervisor reproduces the plain run bitwise.
+pub fn infer_with_supervision(
+    output: &CampaignOutput,
+    analysis_config: &AnalysisConfig,
+    heuristic_config: &HeuristicConfig,
+    supervisor: &SupervisorConfig,
+) -> InferenceOutput {
     let data = path_data_from_labels(output);
-    let analysis = Analysis::run(&data, analysis_config);
+    let analysis = Analysis::run_supervised(&data, analysis_config, supervisor);
     let schedules: Vec<&beacon::BeaconSchedule> = output.campaign.beacon_schedules().collect();
     let heuristics = evaluate(&output.labels, &output.dump, &schedules, heuristic_config);
     InferenceOutput {
@@ -84,6 +171,7 @@ pub fn infer_becauase_and_heuristics(
         analysis,
         heuristics,
         heuristic_threshold: heuristic_config.threshold,
+        coverage: Coverage::from_labels(&output.labels),
     }
 }
 
@@ -129,5 +217,52 @@ mod tests {
         let data = path_data_from_labels(&out);
         let total_pairs: u64 = out.labels.iter().map(|l| l.pairs_total as u64).sum();
         assert_eq!(data.num_observations(), total_pairs);
+    }
+
+    #[test]
+    fn outages_cost_coverage_not_cleanliness() {
+        // Every VP suffers an outage long enough to swallow the rest of
+        // the campaign from wherever it starts.
+        let mut cfg = ExperimentConfig::small(1, 24);
+        cfg.faults = Some(netsim::faults::FaultSpec {
+            vp_outage_rate: 1.0,
+            vp_outage_duration: netsim::SimDuration::from_hours(500),
+            seed: 3,
+            ..Default::default()
+        });
+        let out = run_campaign(&cfg);
+        assert!(
+            out.labels.iter().any(|l| l.unobservable),
+            "total outages must make some paths unobservable"
+        );
+        // Unobservable paths contribute nothing: the dataset holds
+        // exactly the observable pairs, not zeros for the lost ones.
+        let data = path_data_from_labels(&out);
+        let observable_pairs: u64 = out
+            .labels
+            .iter()
+            .filter(|l| !l.unobservable)
+            .map(|l| l.pairs_total as u64)
+            .sum();
+        assert_eq!(data.num_observations(), observable_pairs);
+
+        let cov = Coverage::from_labels(&out.labels);
+        assert!(cov.is_degraded());
+        assert_eq!(
+            cov.paths_unobservable,
+            out.labels.iter().filter(|l| l.unobservable).count()
+        );
+        assert!(!cov.lost_paths_per_as.is_empty());
+        let section = cov.obs_section();
+        assert_eq!(section.name, "coverage");
+    }
+
+    #[test]
+    fn coverage_is_all_zero_on_clean_runs() {
+        let out = run_campaign(&ExperimentConfig::small(1, 25));
+        let cov = Coverage::from_labels(&out.labels);
+        assert!(!cov.is_degraded());
+        assert_eq!(cov.paths_unobservable, 0);
+        assert!(cov.lost_paths_per_as.is_empty());
     }
 }

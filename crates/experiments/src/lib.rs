@@ -28,6 +28,6 @@ pub mod pipeline;
 pub mod report;
 
 pub use deployment::{AsDeployment, DampMode, Deployment, DeploymentConfig};
-pub use infer::{infer_becauase_and_heuristics, InferenceOutput};
+pub use infer::{infer_becauase_and_heuristics, infer_with_supervision, Coverage, InferenceOutput};
 pub use metrics::{detectable_universe, evaluate_against_oracle, OracleEvaluation};
 pub use pipeline::{run_campaign, CampaignOutput, ExperimentConfig};

@@ -1,12 +1,16 @@
 //! The end-to-end measurement pipeline: topology → deployment → beacons →
 //! simulation → collector dumps → labeled paths.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use beacon::Campaign;
+use bgpsim::AsId;
 use collector::{CollectorConfig, CollectorSet, Dump};
+use netsim::faults::{FaultCounters, FaultPlan, FaultSpec};
 use netsim::{SimDuration, SimTime};
-use signature::{label_dump, LabeledPath, LabelingConfig};
+use signature::{label_dump_with_outages, LabeledPath, LabelingConfig};
 use topology::{generate, Topology, TopologyConfig};
 
 use crate::deployment::{Deployment, DeploymentConfig};
@@ -34,6 +38,12 @@ pub struct ExperimentConfig {
     /// Record per-session RFD transitions and MRAI deferrals into a
     /// sim-time trace buffer, surfaced as [`CampaignOutput::trace`].
     pub trace: bool,
+    /// Deterministic fault injection across the measurement substrate
+    /// (VP outages, session resets, record loss/duplication/reordering,
+    /// clock skew, truncated or delayed exports). `None` — the default —
+    /// leaves every layer on its fault-free fast path, byte-identical to
+    /// a build without fault support.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ExperimentConfig {
@@ -55,6 +65,7 @@ impl ExperimentConfig {
             labeling: LabelingConfig::default(),
             seed,
             trace: false,
+            faults: None,
         }
     }
 
@@ -77,6 +88,7 @@ impl ExperimentConfig {
             labeling: LabelingConfig::default(),
             seed,
             trace: false,
+            faults: None,
         }
     }
 }
@@ -104,6 +116,13 @@ pub struct CampaignOutput {
     /// Sim-time trace of RFD/MRAI activity, when
     /// [`ExperimentConfig::trace`] was set.
     pub trace: Option<obs::TraceBuffer>,
+    /// Tallies of every fault actually injected, merged across the
+    /// network and collector layers. All-zero on fault-free runs.
+    pub fault_counters: FaultCounters,
+    /// The outage window each vantage point suffered, keyed by VP AS.
+    /// Empty on fault-free runs. Labeling uses this to mark Burst–Break
+    /// pairs the outage swallowed as unobservable.
+    pub vp_outages: BTreeMap<AsId, (SimTime, SimTime)>,
 }
 
 impl CampaignOutput {
@@ -156,6 +175,15 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
     );
     campaign.apply(&mut net);
 
+    // 3b. Fault plan: session resets go into the event queue before the
+    //     run; VP-level faults are applied at collector time below.
+    let plan = config.faults.clone().map(FaultPlan::new);
+    let horizon = campaign.end();
+    let horizon_span = horizon - SimTime::ZERO;
+    if let Some(plan) = &plan {
+        net.apply_faults(plan, horizon_span);
+    }
+
     // 4. Run to quiescence (the queue drains once all RFD reuse timers
     //    past the last break have fired).
     let guard = spans.enter(sim_span);
@@ -163,29 +191,59 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
     drop(guard);
     let events_processed = net.events_processed();
     let updates_delivered = net.delivered();
+    let mut fault_counters = net.fault_counters().clone();
 
     // 5. Collector processing.
     let guard = spans.enter(collect_span);
     let taps = net.take_tap_log();
     let collectors = CollectorSet::assign(&topology.vantage_points, config.seed);
-    let horizon = campaign.end();
-    let dump = collectors.process(&taps, &config.collector, horizon);
+    let dump = collectors.process_with_faults(
+        &taps,
+        &config.collector,
+        horizon,
+        plan.as_ref(),
+        &mut fault_counters,
+    );
     drop(guard);
 
-    // 6. Signature detection per beacon prefix.
+    // 6. Signature detection per beacon prefix. Pairs whose Break window
+    //    an outage swallowed are marked unobservable rather than clean.
+    let vp_outages: BTreeMap<AsId, (SimTime, SimTime)> = plan
+        .as_ref()
+        .map(|plan| {
+            topology
+                .vantage_points
+                .iter()
+                .filter_map(|&vp| {
+                    plan.vp_outage(u64::from(vp.0), horizon_span)
+                        .map(|window| (vp, window))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let guard = spans.enter(label_span);
     let mut labels = Vec::new();
     for schedule in campaign.beacon_schedules() {
-        labels.extend(label_dump(&dump, schedule, &config.labeling));
+        labels.extend(label_dump_with_outages(
+            &dump,
+            schedule,
+            &config.labeling,
+            &vp_outages,
+        ));
     }
     drop(guard);
 
-    // 7. Assemble the run report from every subsystem.
+    // 7. Assemble the run report from every subsystem. The faults
+    //    section appears only on faulted runs, keeping fault-free
+    //    reports byte-identical to a build without fault support.
     let mut report = obs::RunReport::new("campaign");
     spans.export_into(report.section("pipeline"));
     net.export_obs(&mut report);
     report.push_section(dump.obs_section());
     report.push_section(signature::obs_section(&labels));
+    if plan.is_some() {
+        report.push_section(fault_counters.obs_section());
+    }
     let trace = net.take_trace();
 
     CampaignOutput {
@@ -198,6 +256,8 @@ pub fn run_campaign(config: &ExperimentConfig) -> CampaignOutput {
         updates_delivered,
         report,
         trace,
+        fault_counters,
+        vp_outages,
     }
 }
 
@@ -323,5 +383,44 @@ mod tests {
         let b = run_campaign(&ExperimentConfig::small(1, 15));
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn faulted_campaign_is_deterministic_and_counts_faults() {
+        let mut cfg = ExperimentConfig::small(1, 31);
+        cfg.faults = Some(netsim::faults::FaultSpec::drill(9));
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.fault_counters, b.fault_counters);
+        assert_eq!(a.vp_outages, b.vp_outages);
+        assert!(a.fault_counters.total() > 0, "drill plan injected nothing");
+        assert!(
+            a.report.to_text().contains("faults"),
+            "faulted run must report a faults section"
+        );
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_changes_nothing() {
+        let base = run_campaign(&ExperimentConfig::small(1, 32));
+        let mut cfg = ExperimentConfig::small(1, 32);
+        cfg.faults = Some(netsim::faults::FaultSpec::default());
+        let armed = run_campaign(&cfg);
+        assert_eq!(base.labels, armed.labels);
+        assert_eq!(base.events_processed, armed.events_processed);
+        assert_eq!(base.updates_delivered, armed.updates_delivered);
+        assert_eq!(armed.fault_counters.total(), 0);
+        assert!(armed.vp_outages.is_empty());
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_faults_section() {
+        let out = run_campaign(&ExperimentConfig::small(1, 33));
+        assert_eq!(out.fault_counters.total(), 0);
+        assert!(
+            !out.report.to_text().contains("faults"),
+            "fault-free reports must stay unchanged"
+        );
     }
 }

@@ -243,9 +243,11 @@ mod tests {
             path: CleanPath::from_asns(&path.iter().map(|&i| AsId(i)).collect::<Vec<_>>()),
             pairs_total: 5,
             pairs_matching: if rfd { 5 } else { 0 },
+            pairs_unobservable: 0,
             r_deltas: vec![],
             break_deltas: vec![],
             rfd,
+            unobservable: false,
         }
     }
 

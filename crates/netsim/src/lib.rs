@@ -23,6 +23,7 @@
 //!   (used by the paper's heuristic M3 and several figures).
 
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use beacon::BeaconSchedule;
 use bgpsim::{AsId, Prefix};
 use collector::{Dump, UpdateRecord};
-use netsim::SimDuration;
+use netsim::{SimDuration, SimTime};
 
 use crate::clean::{clean_path, CleanPath};
 
@@ -65,6 +65,11 @@ pub struct PairOutcome {
     /// Updates observed during the burst window (for the M3 heuristic and
     /// Fig. 10 histograms).
     pub burst_updates: usize,
+    /// False when a vantage-point outage overlapped this pair's
+    /// Burst–Break window: whatever was (not) seen cannot be trusted, so
+    /// the pair is excluded from the labeling rule instead of counting
+    /// as "no signature".
+    pub observable: bool,
 }
 
 /// Aggregated label for one (vantage, prefix, path).
@@ -86,8 +91,15 @@ pub struct LabeledPath {
     /// All observed break deltas (§6.2 / Fig. 13 definition: burst end →
     /// re-advertisement).
     pub break_deltas: Vec<SimDuration>,
-    /// The verdict: RFD path or not.
+    /// Pairs eaten by a vantage-point outage — excluded from
+    /// `pairs_total` and from the ≥ 90 % rule.
+    pub pairs_unobservable: usize,
+    /// The verdict: RFD path or not. Always false when `unobservable`.
     pub rfd: bool,
+    /// True when an outage left this path with fewer observable pairs
+    /// than `min_pairs`: the path has no usable data and must not be
+    /// read as "clean" downstream.
+    pub unobservable: bool,
 }
 
 impl LabeledPath {
@@ -129,17 +141,41 @@ pub fn label_dump(
     schedule: &BeaconSchedule,
     config: &LabelingConfig,
 ) -> Vec<LabeledPath> {
+    label_dump_with_outages(dump, schedule, config, &BTreeMap::new())
+}
+
+/// [`label_dump`] aware of vantage-point outage windows (from an
+/// injected fault plan or known infrastructure failures).
+///
+/// A Burst–Break pair whose window overlaps its vantage point's outage
+/// is *unobservable*: the outage may have eaten the burst (faking
+/// suppression) or the re-advertisement (faking cleanliness), so the
+/// pair is excluded from the ≥ 90 % rule rather than mislabeled. Paths
+/// left with no observable pairs are emitted with
+/// [`LabeledPath::unobservable`] set instead of being called clean.
+pub fn label_dump_with_outages(
+    dump: &Dump,
+    schedule: &BeaconSchedule,
+    config: &LabelingConfig,
+    outages: &BTreeMap<AsId, (SimTime, SimTime)>,
+) -> Vec<LabeledPath> {
     let mut out = Vec::new();
     for ((vantage, prefix), records) in dump.by_vantage_prefix() {
         if prefix != schedule.prefix {
             continue;
         }
-        let outcomes = pair_outcomes(&records, schedule, config);
-        // Aggregate per path.
-        type Acc = (usize, usize, Vec<SimDuration>, Vec<SimDuration>);
+        let outage = outages.get(&vantage).copied();
+        let outcomes = pair_outcomes_with_outage(&records, schedule, config, outage);
+        // Aggregate per path: (observable, matching, r/break deltas,
+        // unobservable).
+        type Acc = (usize, usize, Vec<SimDuration>, Vec<SimDuration>, usize);
         let mut per_path: BTreeMap<CleanPath, Acc> = BTreeMap::new();
         for o in outcomes {
             let entry = per_path.entry(o.path.clone()).or_default();
+            if !o.observable {
+                entry.4 += 1;
+                continue;
+            }
             entry.0 += 1;
             if o.matches {
                 entry.1 += 1;
@@ -151,21 +187,37 @@ pub fn label_dump(
                 entry.3.push(bd);
             }
         }
-        for (path, (total, matching, r_deltas, break_deltas)) in per_path {
-            if total < config.min_pairs {
-                continue;
+        for (path, (total, matching, r_deltas, break_deltas, unobservable)) in per_path {
+            if total >= config.min_pairs {
+                let rfd = matching as f64 / total as f64 >= config.signature_share;
+                out.push(LabeledPath {
+                    vantage,
+                    prefix,
+                    path,
+                    pairs_total: total,
+                    pairs_matching: matching,
+                    r_deltas,
+                    break_deltas,
+                    pairs_unobservable: unobservable,
+                    rfd,
+                    unobservable: false,
+                });
+            } else if unobservable > 0 {
+                // Too few observable pairs *because* of the outage: say
+                // so instead of silently dropping or mislabeling.
+                out.push(LabeledPath {
+                    vantage,
+                    prefix,
+                    path,
+                    pairs_total: total,
+                    pairs_matching: matching,
+                    r_deltas,
+                    break_deltas,
+                    pairs_unobservable: unobservable,
+                    rfd: false,
+                    unobservable: true,
+                });
             }
-            let rfd = matching as f64 / total as f64 >= config.signature_share;
-            out.push(LabeledPath {
-                vantage,
-                prefix,
-                path,
-                pairs_total: total,
-                pairs_matching: matching,
-                r_deltas,
-                break_deltas,
-                rfd,
-            });
         }
     }
     out
@@ -176,8 +228,14 @@ pub fn label_dump(
 pub fn obs_section(labels: &[LabeledPath]) -> obs::Section {
     let mut section = obs::Section::new("signature.labels");
     let rfd = labels.iter().filter(|l| l.rfd).count();
+    let unobservable = labels.iter().filter(|l| l.unobservable).count();
     section.counter("paths_rfd", rfd as u64);
-    section.counter("paths_clean", (labels.len() - rfd) as u64);
+    section.counter("paths_clean", (labels.len() - rfd - unobservable) as u64);
+    section.counter("paths_unobservable", unobservable as u64);
+    section.counter(
+        "pairs_unobservable",
+        labels.iter().map(|l| l.pairs_unobservable as u64).sum(),
+    );
     // Bounds straddle the 5-minute labeling threshold up to the RFD
     // max-suppress ceiling (≈ 60 min plus reuse-timer slack).
     let mut r_deltas = obs::Histogram::new(&[1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0]);
@@ -196,12 +254,30 @@ pub fn pair_outcomes(
     schedule: &BeaconSchedule,
     config: &LabelingConfig,
 ) -> Vec<PairOutcome> {
+    pair_outcomes_with_outage(records, schedule, config, None)
+}
+
+/// [`pair_outcomes`] aware of the vantage point's outage window: pairs
+/// whose Burst–Break window overlaps it come back with
+/// [`PairOutcome::observable`] false and no match verdict.
+pub fn pair_outcomes_with_outage(
+    records: &[&UpdateRecord],
+    schedule: &BeaconSchedule,
+    config: &LabelingConfig,
+    outage: Option<(SimTime, SimTime)>,
+) -> Vec<PairOutcome> {
     let mut outcomes = Vec::new();
     for i in 0..schedule.cycles {
         let burst_start = schedule.burst_start(i);
         let burst_end = schedule.burst_end(i);
         let break_end = schedule.break_end(i);
         let burst_cutoff = burst_end + config.propagation_bound;
+        // Conservative observability rule: any overlap between the
+        // outage and this pair's full window taints the pair.
+        let observable = match outage {
+            Some((o0, o1)) => o1 <= burst_start || o0 >= break_end,
+            None => true,
+        };
 
         // Records attributable to this pair's burst phase. Announcements
         // must carry a valid stamp from within the burst (the validity
@@ -258,14 +334,16 @@ pub fn pair_outcomes(
         let expected = schedule.updates_per_burst().max(1);
         let suppressed =
             (in_burst.len() as f64) <= config.max_burst_delivery_share * expected as f64;
-        let matches = suppressed && r_delta.map(|d| d >= config.min_r_delta).unwrap_or(false);
+        let matches =
+            observable && suppressed && r_delta.map(|d| d >= config.min_r_delta).unwrap_or(false);
         outcomes.push(PairOutcome {
             burst: i,
             path,
-            r_delta,
-            break_delta,
+            r_delta: if observable { r_delta } else { None },
+            break_delta: if observable { break_delta } else { None },
             matches,
             burst_updates: in_burst.len(),
+            observable,
         });
     }
     outcomes
@@ -541,6 +619,87 @@ mod tests {
     }
 
     #[test]
+    fn empty_labels_have_zero_match_share_and_no_means() {
+        let l = LabeledPath {
+            vantage: AsId(1),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: clean_path(&[AsId(1), AsId(2)].iter().copied().collect::<AsPath>()).unwrap(),
+            pairs_total: 0,
+            pairs_matching: 0,
+            r_deltas: Vec::new(),
+            break_deltas: Vec::new(),
+            pairs_unobservable: 0,
+            rfd: false,
+            unobservable: false,
+        };
+        assert_eq!(l.match_share(), 0.0, "0/0 must be 0.0, not NaN");
+        assert_eq!(l.mean_r_delta_mins(), None);
+        assert_eq!(l.mean_break_delta_mins(), None);
+    }
+
+    #[test]
+    fn outage_over_one_break_excludes_the_pair_not_the_path() {
+        let s = schedule();
+        // Outage eats burst 0's break window (where its re-advertisement
+        // lives). Without outage awareness that pair would still match
+        // here (records exist in the dump), so observability must come
+        // from the window rule, not from missing data.
+        let outage = (
+            s.burst_end(0) + SimDuration::from_mins(30),
+            s.burst_end(0) + SimDuration::from_mins(50),
+        );
+        let mut outages = BTreeMap::new();
+        outages.insert(AsId(900), outage);
+        let dump = Dump::new(rfd_stream(&s));
+        let labels = label_dump_with_outages(&dump, &s, &LabelingConfig::default(), &outages);
+        assert_eq!(labels.len(), 1);
+        let l = &labels[0];
+        assert!(!l.unobservable);
+        assert_eq!(l.pairs_unobservable, 1, "burst 0's pair is tainted");
+        assert_eq!(l.pairs_total, 2, "only observable pairs count");
+        assert_eq!(l.pairs_matching, 2);
+        assert_eq!(l.r_deltas.len(), 2, "tainted pair contributes no r-delta");
+        assert!(l.rfd, "2/2 observable pairs still match");
+    }
+
+    #[test]
+    fn outage_over_everything_labels_path_unobservable() {
+        let s = schedule();
+        let mut outages = BTreeMap::new();
+        outages.insert(AsId(900), (SimTime::ZERO, s.break_end(s.cycles - 1)));
+        let dump = Dump::new(rfd_stream(&s));
+        let labels = label_dump_with_outages(&dump, &s, &LabelingConfig::default(), &outages);
+        assert_eq!(labels.len(), 1);
+        let l = &labels[0];
+        assert!(l.unobservable, "no observable pair → unobservable label");
+        assert!(!l.rfd, "an unobservable path is never called RFD");
+        assert_eq!(l.pairs_total, 0);
+        assert_eq!(l.pairs_unobservable, 3);
+
+        let section = obs_section(&labels);
+        assert_eq!(
+            section.get("paths_unobservable"),
+            Some(&obs::Value::Counter(1))
+        );
+        assert_eq!(section.get("paths_clean"), Some(&obs::Value::Counter(0)));
+        assert_eq!(
+            section.get("pairs_unobservable"),
+            Some(&obs::Value::Counter(3))
+        );
+    }
+
+    #[test]
+    fn outage_on_another_vantage_changes_nothing() {
+        let s = schedule();
+        let mut outages = BTreeMap::new();
+        outages.insert(AsId(901), (SimTime::ZERO, SimTime::from_mins(100000)));
+        let dump = Dump::new(rfd_stream(&s));
+        let with = label_dump_with_outages(&dump, &s, &LabelingConfig::default(), &outages);
+        let without = label_dump(&dump, &s, &LabelingConfig::default());
+        assert_eq!(with, without);
+    }
+
+    #[test]
     fn other_prefixes_are_ignored() {
         let s = schedule();
         let mut records = non_rfd_stream(&s);
@@ -549,5 +708,72 @@ mod tests {
         }
         let labels = label(records, &s);
         assert!(labels.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use collector::IntegrityConfig;
+        use netsim::SimRng;
+        use proptest::prelude::*;
+
+        /// The two-vantage mixed stream: one damped path, one clean.
+        fn mixed_records(s: &BeaconSchedule) -> Vec<UpdateRecord> {
+            let mut records = rfd_stream(s);
+            let mut clean = non_rfd_stream(s);
+            for r in clean.iter_mut() {
+                r.vantage = AsId(901);
+                if let Some(path) = &r.path {
+                    let mut asns: Vec<AsId> = path.asns().to_vec();
+                    asns[0] = AsId(901);
+                    r.path = Some(AsPath::from_slice(&asns));
+                }
+            }
+            records.extend(clean);
+            records.sort_by_key(|r| (r.exported_at, r.vantage, r.prefix));
+            records
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Labeling is invariant under record duplication and
+            /// bounded reordering once the dump is normalized: the
+            /// signature search walks streams in canonical observation
+            /// order, so transport-level record shuffling must never
+            /// flip a verdict.
+            #[test]
+            fn labels_survive_duplication_and_bounded_reordering(seed in any::<u64>()) {
+                let s = schedule();
+                let records = mixed_records(&s);
+                let integrity = IntegrityConfig::default();
+
+                let mut base = Dump::new(records.clone());
+                base.normalize(&integrity);
+                let baseline = label_dump(&base, &s, &LabelingConfig::default());
+                prop_assert_eq!(baseline.len(), 2);
+
+                let mut rng = SimRng::new(seed).split("perturb");
+                let mut perturbed = records.clone();
+                // Duplicate ~20 % of the records (exact copies).
+                let dups: Vec<UpdateRecord> = perturbed
+                    .iter()
+                    .filter(|_| rng.chance(0.2))
+                    .cloned()
+                    .collect();
+                perturbed.extend(dups);
+                // Bounded reordering: many short-range swaps.
+                let n = perturbed.len();
+                for _ in 0..2 * n {
+                    let i = rng.below(n as u64) as usize;
+                    let j = (i + 1 + rng.below(4) as usize).min(n - 1);
+                    perturbed.swap(i, j);
+                }
+
+                let mut dump = Dump::new(perturbed);
+                dump.normalize(&integrity);
+                let labels = label_dump(&dump, &s, &LabelingConfig::default());
+                prop_assert_eq!(labels, baseline);
+            }
+        }
     }
 }

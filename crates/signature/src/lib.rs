@@ -26,4 +26,6 @@ pub mod clean;
 pub mod label;
 
 pub use clean::{clean_path, CleanPath};
-pub use label::{label_dump, obs_section, LabeledPath, LabelingConfig, PairOutcome};
+pub use label::{
+    label_dump, label_dump_with_outages, obs_section, LabeledPath, LabelingConfig, PairOutcome,
+};

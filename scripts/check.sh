@@ -35,4 +35,37 @@ REPRO_SCALE=tiny ./target/release/fig06_link_similarity \
 python3 -m json.tool "$artifacts/fig06.trace.json" > /dev/null
 python3 -m json.tool "$artifacts/fig06.report.json" > /dev/null
 
+echo "==> fault-matrix smoke test (--faults on a tiny campaign)"
+REPRO_SCALE=tiny ./target/release/fig05_signature \
+    --faults drill \
+    --report-json "$artifacts/fig05.faults.report.json" > /dev/null
+REPRO_SCALE=tiny ./target/release/fig09_marginals \
+    --faults "outage=0.3,reset=0.2,loss=0.02,dup=0.02,reorder=0.05,clock-skew-secs=5,seed=7" \
+    --report-json "$artifacts/fig09.faults.report.json" > /dev/null
+python3 - "$artifacts/fig05.faults.report.json" "$artifacts/fig09.faults.report.json" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    report = json.load(open(path))
+    sections = {s["name"]: {e["name"]: e.get("value") for e in s["entries"]}
+                for s in report["sections"]}
+    faults = sections.get("faults")
+    assert faults is not None, f"{path}: no faults section"
+    assert faults.get("total", 0) > 0, f"{path}: fault plan injected nothing"
+PY
+
+echo "==> resume-equivalence smoke test (kill at draw 150, resume, diff)"
+REPRO_SCALE=tiny ./target/release/fig09_marginals > "$artifacts/fig09.ref.txt"
+set +e
+REPRO_SCALE=tiny REPRO_KILL_AFTER_DRAWS=150 ./target/release/fig09_marginals \
+    --checkpoint "$artifacts/fig09.ckpt" > /dev/null 2>&1
+kill_status=$?
+set -e
+if [ "$kill_status" -ne 86 ]; then
+    echo "expected simulated kill to exit 86, got $kill_status" >&2
+    exit 1
+fi
+REPRO_SCALE=tiny ./target/release/fig09_marginals \
+    --resume "$artifacts/fig09.ckpt" > "$artifacts/fig09.resumed.txt"
+diff "$artifacts/fig09.ref.txt" "$artifacts/fig09.resumed.txt"
+
 echo "All checks passed."
