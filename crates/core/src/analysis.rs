@@ -19,7 +19,7 @@ use crate::model::{NodeId, PathData};
 use crate::pinpoint::{apply_pinpoint, pinpoint_inconsistent};
 use crate::prior::Prior;
 use crate::progress::{
-    ChainPhase, ProgressObserver, ProgressSnapshot, StderrTicker, TraceProgress,
+    ChainPhase, ProgressObserver, ProgressSnapshot, ServeProgress, StderrTicker, TraceProgress,
 };
 use crate::summary::Marginal;
 use crate::supervisor::{run_chains_supervised, SupervisorConfig};
@@ -152,6 +152,19 @@ pub struct Analysis {
     pub unexplained_paths: usize,
     /// Worst split-R̂ across coordinates and kernels (NaN if single chain).
     pub max_r_hat: f64,
+    /// Worst rank-normalized split-R̂ (max of bulk and folded statistics,
+    /// Vehtari et al. 2021) across coordinates and kernels (NaN if
+    /// single chain).
+    pub max_rank_r_hat: f64,
+    /// Smallest bulk ESS (rank-normalized) across coordinates and
+    /// kernels.
+    pub min_ess_bulk: f64,
+    /// Smallest tail ESS (5 %/95 % indicator) across coordinates and
+    /// kernels.
+    pub min_ess_tail: f64,
+    /// Per-HMC-chain E-BFMI over the recorded trajectory energies
+    /// (empty if HMC did not run).
+    pub e_bfmi: Vec<f64>,
     /// Wall-clock spent running MH chains (0 if MH did not run).
     pub mh_secs: f64,
     /// Wall-clock spent running HMC chains (0 if HMC did not run).
@@ -173,14 +186,17 @@ pub struct Analysis {
 struct RunObserver {
     ticker: Option<StderrTicker>,
     trace: Option<TraceProgress>,
+    serve: Option<ServeProgress>,
 }
 
 impl ProgressObserver for RunObserver {
     fn every(&self) -> usize {
-        match (&self.ticker, &self.trace) {
-            (Some(t), _) => t.every(),
-            (None, Some(t)) => t.every(),
-            (None, None) => 0,
+        // All constituents share one cadence; any active one carries it.
+        match (&self.ticker, &self.trace, &self.serve) {
+            (Some(t), _, _) => t.every(),
+            (None, Some(t), _) => t.every(),
+            (None, None, Some(t)) => t.every(),
+            (None, None, None) => 0,
         }
     }
 
@@ -189,6 +205,9 @@ impl ProgressObserver for RunObserver {
             t.observe(snap);
         }
         if let Some(t) = &mut self.trace {
+            t.observe(snap);
+        }
+        if let Some(t) = &mut self.serve {
             t.observe(snap);
         }
     }
@@ -211,6 +230,9 @@ impl ProgressObserver for RunObserver {
         phase: ChainPhase,
     ) {
         if let Some(t) = &mut self.trace {
+            t.end_phase(chain_index, kind, phase);
+        }
+        if let Some(t) = &mut self.serve {
             t.end_phase(chain_index, kind, phase);
         }
     }
@@ -261,6 +283,9 @@ impl Analysis {
                 trace: config
                     .trace
                     .then(|| TraceProgress::new(cadence, 2048, epoch, lane_base)),
+                // Live only when a `--serve` endpoint was installed in
+                // this process; otherwise the unobserved zero-cost path.
+                serve: ServeProgress::installed(cadence),
             }
         };
 
@@ -402,24 +427,50 @@ impl Analysis {
             report.category = categories[i];
         }
 
-        let max_r_hat = {
-            let r_mh = if mh_chains.len() > 1 {
-                diagnostics::max_r_hat(&mh_chains)
+        // NaN-aware combiners: propagate a known per-kernel value over
+        // NaN, NaN only when neither kernel produced one.
+        fn nan_max(a: f64, b: f64) -> f64 {
+            match (a.is_nan(), b.is_nan()) {
+                (false, false) => a.max(b),
+                (false, true) => a,
+                (true, _) => b,
+            }
+        }
+        fn nan_min(a: f64, b: f64) -> f64 {
+            match (a.is_nan(), b.is_nan()) {
+                (false, false) => a.min(b),
+                (false, true) => a,
+                (true, _) => b,
+            }
+        }
+        // Multi-chain R̂ statistics need at least two chains to compare.
+        let multi = |chains: &[Chain], f: fn(&[Chain]) -> f64| {
+            if chains.len() > 1 {
+                f(chains)
             } else {
                 f64::NAN
-            };
-            let r_hmc = if hmc_chains.len() > 1 {
-                diagnostics::max_r_hat(&hmc_chains)
-            } else {
-                f64::NAN
-            };
-            match (r_mh.is_nan(), r_hmc.is_nan()) {
-                (false, false) => r_mh.max(r_hmc),
-                (false, true) => r_mh,
-                (true, false) => r_hmc,
-                (true, true) => f64::NAN,
             }
         };
+        let max_r_hat = nan_max(
+            multi(&mh_chains, diagnostics::max_r_hat),
+            multi(&hmc_chains, diagnostics::max_r_hat),
+        );
+        let max_rank_r_hat = nan_max(
+            multi(&mh_chains, diagnostics::max_rank_r_hat),
+            multi(&hmc_chains, diagnostics::max_rank_r_hat),
+        );
+        let min_ess_bulk = nan_min(
+            diagnostics::min_ess_bulk(&mh_chains),
+            diagnostics::min_ess_bulk(&hmc_chains),
+        );
+        let min_ess_tail = nan_min(
+            diagnostics::min_ess_tail(&mh_chains),
+            diagnostics::min_ess_tail(&hmc_chains),
+        );
+        let e_bfmi: Vec<f64> = hmc_chains
+            .iter()
+            .map(|c| diagnostics::e_bfmi(c.energies()))
+            .collect();
 
         Analysis {
             reports,
@@ -427,6 +478,10 @@ impl Analysis {
             hmc_chains,
             unexplained_paths: pin.unexplained_paths.len(),
             max_r_hat,
+            max_rank_r_hat,
+            min_ess_bulk,
+            min_ess_tail,
+            e_bfmi,
             mh_secs,
             hmc_secs,
             trace,
@@ -460,10 +515,18 @@ impl Analysis {
                 .span_secs("warmup_secs", pooled.warmup_secs)
                 .span_secs("sampling_secs", pooled.sampling_secs)
                 .span_secs("wall_secs", wall);
+            if label == "because.hmc" {
+                for (k, &b) in self.e_bfmi.iter().enumerate() {
+                    section.gauge(&format!("e_bfmi.{k}"), b);
+                }
+            }
         }
         report
             .section("because.diagnostics")
             .gauge("max_r_hat", self.max_r_hat)
+            .gauge("max_rank_r_hat", self.max_rank_r_hat)
+            .gauge("min_ess_bulk", self.min_ess_bulk)
+            .gauge("min_ess_tail", self.min_ess_tail)
             .counter("unexplained_paths", self.unexplained_paths as u64);
         if !self.failures.is_empty() || self.resumed_chains > 0 || self.checkpoints_written > 0 {
             let section = report.section("because.supervisor");
@@ -659,6 +722,36 @@ mod tests {
         };
         let a = Analysis::run(&data, &cfg);
         assert!(a.max_r_hat < 1.1, "r_hat={}", a.max_r_hat);
+        assert!(a.max_rank_r_hat < 1.1, "rank r_hat={}", a.max_rank_r_hat);
+        assert!(
+            a.min_ess_bulk.is_finite() && a.min_ess_bulk > 1.0,
+            "ess_bulk={}",
+            a.min_ess_bulk
+        );
+        assert!(
+            a.min_ess_tail.is_finite() && a.min_ess_tail >= 1.0,
+            "ess_tail={}",
+            a.min_ess_tail
+        );
+        assert_eq!(a.e_bfmi.len(), cfg.n_chains, "one E-BFMI per HMC chain");
+        for (k, b) in a.e_bfmi.iter().enumerate() {
+            assert!(b.is_finite() && *b > 0.3, "chain {k} e-bfmi={b}");
+        }
+    }
+
+    #[test]
+    fn mh_only_run_has_no_e_bfmi() {
+        let obs = observations(&[(&[1], true), (&[2], false)], 10);
+        let data = PathData::from_observations(&obs, &[]);
+        let cfg = AnalysisConfig {
+            run_hmc: false,
+            ..AnalysisConfig::fast(8)
+        };
+        let a = Analysis::run(&data, &cfg);
+        assert!(a.e_bfmi.is_empty());
+        // Rank diagnostics still come from the MH chains.
+        assert!(a.max_rank_r_hat.is_finite());
+        assert!(a.min_ess_bulk.is_finite());
     }
 
     #[test]

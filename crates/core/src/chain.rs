@@ -66,6 +66,13 @@ pub trait Sampler {
     fn grad_evals(&self) -> u64 {
         0
     }
+    /// Total energy (−log posterior + kinetic) at the start of the most
+    /// recent trajectory — the series behind the E-BFMI diagnostic.
+    /// `NaN` for kernels without an energy notion (the default) and
+    /// before the first step.
+    fn energy(&self) -> f64 {
+        f64::NAN
+    }
 }
 
 /// Settings for running one or more chains.
@@ -119,6 +126,12 @@ pub struct Chain {
     /// Wall-clock spent collecting samples (0 for chains not built by
     /// [`run_chain`]).
     pub sampling_secs: f64,
+    /// Per-retained-draw trajectory energies (`NaN` entries for kernels
+    /// without an energy notion; empty for synthetic chains).
+    pub(crate) energies: Vec<f64>,
+    /// Retained-draw indices whose thin window contained at least one
+    /// divergent trajectory.
+    pub(crate) divergent_draws: Vec<usize>,
 }
 
 impl Chain {
@@ -141,6 +154,8 @@ impl Chain {
             grad_evals: 0,
             warmup_secs: 0.0,
             sampling_secs: 0.0,
+            energies: Vec::with_capacity(draws),
+            divergent_draws: Vec::new(),
         }
     }
 
@@ -209,6 +224,37 @@ impl Chain {
         out.extend(self.samples.iter().skip(i).step_by(self.dim).copied());
     }
 
+    /// Per-draw trajectory energies recorded by the chain drivers: one
+    /// entry per retained draw (`NaN` for energy-free kernels like MH),
+    /// or empty when unknown (synthetic chains, older checkpoints).
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+
+    /// Indices of retained draws whose thin window contained at least
+    /// one divergent trajectory (HMC; always empty for MH).
+    pub fn divergent_draws(&self) -> &[usize] {
+        &self.divergent_draws
+    }
+
+    /// Attach per-draw metadata to a hand-built chain (tests, synthetic
+    /// posteriors). `energies` must be empty or hold one entry per draw;
+    /// `divergent_draws` must be in-range draw indices.
+    pub fn set_draw_meta(&mut self, energies: Vec<f64>, divergent_draws: Vec<usize>) {
+        assert!(
+            energies.is_empty() || energies.len() == self.draws,
+            "need one energy per draw ({} vs {})",
+            energies.len(),
+            self.draws
+        );
+        assert!(
+            divergent_draws.iter().all(|&s| s < self.draws),
+            "divergent draw index out of range"
+        );
+        self.energies = energies;
+        self.divergent_draws = divergent_draws;
+    }
+
     /// Posterior mean of coordinate `i`.
     pub fn mean(&self, i: usize) -> f64 {
         if self.draws == 0 {
@@ -231,11 +277,21 @@ impl Chain {
         let dim = chains[0].dim;
         let total_draws: usize = chains.iter().map(Chain::len).sum();
         let mut pooled = Chain::with_capacity(kind, dim, total_draws);
+        // Energies only concatenate cleanly when every chain carries a
+        // full set — a partial concatenation would misalign draw indices.
+        let all_energies = chains.iter().all(|c| c.energies.len() == c.draws);
         for c in chains {
             assert_eq!(c.kind, kind, "cannot pool different kernels");
             assert_eq!(c.dim, dim, "cannot pool different dimensions");
+            let draw_base = pooled.draws;
             pooled.samples.extend_from_slice(&c.samples);
             pooled.draws += c.draws;
+            if all_energies {
+                pooled.energies.extend_from_slice(&c.energies);
+            }
+            pooled
+                .divergent_draws
+                .extend(c.divergent_draws.iter().map(|&s| s + draw_base));
             pooled.divergences += c.divergences;
             pooled.likelihood_evals += c.likelihood_evals;
             pooled.grad_evals += c.grad_evals;
@@ -323,11 +379,21 @@ pub fn run_chain_observed<S: Sampler, O: ProgressObserver>(
     } else {
         Vec::new()
     };
+    // Divergence watermark: only trajectories inside the sampling phase
+    // mark draws (warmup divergences are the kernel's problem to adapt
+    // away, not the posterior's).
+    let mut prev_div = sampler.divergences();
     for s in 0..config.samples {
         for _ in 0..thin {
             sampler.step(rng);
         }
         chain.push_row(sampler.state());
+        chain.energies.push(sampler.energy());
+        let div = sampler.divergences();
+        if div != prev_div {
+            chain.divergent_draws.push(s);
+            prev_div = div;
+        }
         if every > 0 {
             let n = (s + 1) as f64;
             for (m, &x) in means.iter_mut().zip(sampler.state()) {
@@ -707,6 +773,61 @@ mod tests {
         for (p, (o, _)) in plain.iter().zip(&results) {
             assert_eq!(p.flat(), o.flat());
         }
+    }
+
+    #[test]
+    fn driver_records_one_energy_per_draw() {
+        // Toy has no energy notion: the default hook fills NaN, one per
+        // retained draw, and no draw is marked divergent.
+        let mut rng = SimRng::new(31);
+        let chain = run_chain(
+            Toy {
+                x: vec![0.0],
+                accepted: 0,
+                proposed: 0,
+            },
+            &ChainConfig {
+                warmup: 10,
+                samples: 25,
+                thin: 2,
+            },
+            &mut rng,
+        );
+        assert_eq!(chain.energies().len(), 25);
+        assert!(chain.energies().iter().all(|e| e.is_nan()));
+        assert!(chain.divergent_draws().is_empty());
+    }
+
+    #[test]
+    fn pooled_offsets_divergent_draws_and_concatenates_energies() {
+        let mut a = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 5], 0.5);
+        a.set_draw_meta(vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![1, 4]);
+        let mut b = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 3], 0.5);
+        b.set_draw_meta(vec![6.0, 7.0, 8.0], vec![0]);
+        let pooled = Chain::pooled(&[a, b]);
+        assert_eq!(pooled.energies(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(pooled.divergent_draws(), &[1, 4, 5]);
+    }
+
+    #[test]
+    fn pooled_drops_energies_when_any_chain_lacks_them() {
+        let mut a = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.5);
+        a.set_draw_meta(vec![1.0; 4], vec![2]);
+        let b = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.5);
+        let pooled = Chain::pooled(&[a, b]);
+        assert!(
+            pooled.energies().is_empty(),
+            "partial energies must not misalign draw indices"
+        );
+        // Divergent marks are always well-defined and survive pooling.
+        assert_eq!(pooled.divergent_draws(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one energy per draw")]
+    fn set_draw_meta_rejects_wrong_length() {
+        let mut c = Chain::from_rows(SamplerKind::Hmc, vec![vec![0.0]; 4], 0.5);
+        c.set_draw_meta(vec![1.0; 3], vec![]);
     }
 
     #[test]

@@ -26,7 +26,14 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"RFDCKPT\0";
 
 /// Current format version.
-pub const VERSION: u32 = 1;
+///
+/// * v1 — initial format (config echo, RNG state, flat draws, kernel
+///   state).
+/// * v2 — adds per-draw trajectory energies and divergent-draw marks
+///   between the flat draws and the kernel state (and the HMC kernel
+///   payload gained its `last_energy`). v1 files are rejected with
+///   [`CheckpointError::BadVersion`]; the affected chain restarts fresh.
+pub const VERSION: u32 = 2;
 
 /// Typed checkpoint failure.
 #[derive(Debug)]

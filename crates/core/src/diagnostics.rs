@@ -1,12 +1,21 @@
-//! MCMC convergence diagnostics: effective sample size and split-R̂.
+//! MCMC convergence diagnostics: effective sample size, split-R̂, and the
+//! rank-normalized family (bulk/tail ESS, rank-R̂, E-BFMI).
 //!
 //! These are not part of the paper's pipeline but are indispensable for a
 //! production sampler: ESS quantifies how much independent information a
 //! correlated chain carries, and split-R̂ (Gelman–Rubin on half-chains)
 //! flags non-convergence. The bench suite uses ESS/second as the
 //! MH-vs-HMC comparison metric.
+//!
+//! The rank-normalized variants (Vehtari, Gelman, Simpson, Carpenter,
+//! Bürkner 2021) replace each draw with the normal score of its pooled
+//! rank before computing the classic statistics. That makes them robust
+//! to heavy tails and — via the *folded* transform `|x − median|` — able
+//! to catch chains that agree in location but disagree in scale, which
+//! classic split-R̂ misses entirely.
 
 use crate::chain::Chain;
+use crate::math::inv_normal_cdf;
 
 /// Longest run of lag pairs scanned by [`effective_sample_size`].
 ///
@@ -116,11 +125,18 @@ pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
             vars.push(half.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (len - 1.0));
         }
     }
+    gelman_rubin(&means, &vars, min_half as f64)
+}
+
+/// The Gelman–Rubin statistic from per-half means and sample variances,
+/// every half holding `n` draws. Shared tail of [`split_r_hat`] and the
+/// rank-normalized variants; the accumulation order is load-bearing
+/// (split-R̂ values are asserted bit-for-bit in tests).
+fn gelman_rubin(means: &[f64], vars: &[f64], n: f64) -> f64 {
     if means.len() < 2 {
         return f64::NAN;
     }
     let m = means.len() as f64;
-    let n = min_half as f64;
     let grand = means.iter().sum::<f64>() / m;
     let b = n / (m - 1.0) * means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>();
     let w = vars.iter().sum::<f64>() / m;
@@ -129,6 +145,262 @@ pub fn split_r_hat(chains: &[Chain], coord: usize) -> f64 {
     }
     let var_plus = (n - 1.0) / n * w + b / n;
     (var_plus / w).sqrt()
+}
+
+/// [`gelman_rubin`] over explicit half-chains (all the same length).
+fn gelman_rubin_halves(halves: &[Vec<f64>]) -> f64 {
+    let n = halves.first().map(Vec::len).unwrap_or(0);
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mut means = Vec::with_capacity(halves.len());
+    let mut vars = Vec::with_capacity(halves.len());
+    for h in halves {
+        let len = h.len() as f64;
+        let mu = h.iter().sum::<f64>() / len;
+        means.push(mu);
+        vars.push(h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (len - 1.0));
+    }
+    gelman_rubin(&means, &vars, n as f64)
+}
+
+/// Half-columns of `coord` across `chains`, truncated to the common
+/// minimum half length — the same halving rule as [`split_r_hat`].
+/// `None` when no chain has at least 4 draws.
+fn split_halves(chains: &[Chain], coord: usize) -> Option<Vec<Vec<f64>>> {
+    let min_half = chains
+        .iter()
+        .filter(|c| c.len() >= 4)
+        .map(|c| c.len() / 2)
+        .min()?;
+    let mut col: Vec<f64> = Vec::new();
+    let mut halves = Vec::new();
+    for c in chains {
+        if c.len() < 4 {
+            continue;
+        }
+        c.copy_column(coord, &mut col);
+        let mid = col.len() / 2;
+        halves.push(col[..min_half].to_vec());
+        halves.push(col[mid..mid + min_half].to_vec());
+    }
+    Some(halves)
+}
+
+/// Replace every value across `seqs` with its normal score: the pooled
+/// average-tie rank `r` mapped through `Φ⁻¹((r − 3/8)/(N + 1/4))`
+/// (Blom's offset, as in Vehtari et al. 2021). `NaN` values keep their
+/// `NaN`; infinities are tamed to finite scores by construction.
+fn rank_normalize(seqs: &mut [Vec<f64>]) {
+    let n_total: usize = seqs.iter().map(Vec::len).sum();
+    if n_total == 0 {
+        return;
+    }
+    let mut idx: Vec<(u32, u32)> = Vec::with_capacity(n_total);
+    for (h, s) in seqs.iter().enumerate() {
+        for i in 0..s.len() {
+            idx.push((h as u32, i as u32));
+        }
+    }
+    idx.sort_by(|a, b| {
+        seqs[a.0 as usize][a.1 as usize].total_cmp(&seqs[b.0 as usize][b.1 as usize])
+    });
+    let denom = n_total as f64 + 0.25;
+    let mut s = 0;
+    while s < n_total {
+        let v = seqs[idx[s].0 as usize][idx[s].1 as usize];
+        let mut e = s + 1;
+        while e < n_total && seqs[idx[e].0 as usize][idx[e].1 as usize] == v {
+            e += 1;
+        }
+        // Mean of the 1-based ranks s+1..=e shared by the tie group.
+        let z = if v.is_nan() {
+            f64::NAN
+        } else {
+            inv_normal_cdf(((s + 1 + e) as f64 / 2.0 - 0.375) / denom)
+        };
+        for &(h, i) in &idx[s..e] {
+            seqs[h as usize][i as usize] = z;
+        }
+        s = e;
+    }
+}
+
+/// Median of all values pooled across `seqs` (sorted by `total_cmp`).
+fn pooled_median(seqs: &[Vec<f64>]) -> f64 {
+    let mut all: Vec<f64> = seqs.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return f64::NAN;
+    }
+    all.sort_by(|a, b| a.total_cmp(b));
+    let n = all.len();
+    if n % 2 == 1 {
+        all[n / 2]
+    } else {
+        0.5 * (all[n / 2 - 1] + all[n / 2])
+    }
+}
+
+/// Pooled empirical quantile across `seqs` (linear interpolation between
+/// order statistics).
+fn pooled_quantile(seqs: &[Vec<f64>], q: f64) -> f64 {
+    let mut all: Vec<f64> = seqs.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return f64::NAN;
+    }
+    all.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (all.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    all[lo] + (all[hi] - all[lo]) * frac
+}
+
+/// Rank-normalized split-R̂ for one coordinate (Vehtari et al. 2021):
+/// the maximum of the *bulk* statistic (Gelman–Rubin over the
+/// rank-normalized half-chains) and the *folded* statistic (same, over
+/// rank-normalized `|x − median|`). Bulk catches location differences
+/// robustly; folded catches chains that agree in location but disagree
+/// in scale — invisible to classic [`split_r_hat`]. `NaN` when no chain
+/// has at least 4 draws.
+pub fn rank_normalized_split_r_hat(chains: &[Chain], coord: usize) -> f64 {
+    let Some(halves) = split_halves(chains, coord) else {
+        return f64::NAN;
+    };
+    let mut bulk_halves = halves.clone();
+    rank_normalize(&mut bulk_halves);
+    let bulk = gelman_rubin_halves(&bulk_halves);
+
+    let med = pooled_median(&halves);
+    let mut folded: Vec<Vec<f64>> = halves
+        .iter()
+        .map(|h| h.iter().map(|&x| (x - med).abs()).collect())
+        .collect();
+    rank_normalize(&mut folded);
+    let fold = gelman_rubin_halves(&folded);
+
+    // f64::max ignores NaN operands: propagate a known value over NaN,
+    // NaN only when both statistics are undefined.
+    if bulk.is_nan() {
+        fold
+    } else {
+        bulk.max(fold)
+    }
+}
+
+/// Worst rank-normalized split-R̂ over all coordinates (same NaN
+/// semantics as [`max_r_hat`]).
+pub fn max_rank_r_hat(chains: &[Chain]) -> f64 {
+    let dim = chains.first().map(Chain::dim).unwrap_or(0);
+    let mut worst = f64::NAN;
+    for i in 0..dim {
+        let r = rank_normalized_split_r_hat(chains, i);
+        if !r.is_nan() && (worst.is_nan() || r > worst) {
+            worst = r;
+        }
+    }
+    worst
+}
+
+/// Full (untruncated) columns of `coord`, one per non-empty chain.
+fn columns(chains: &[Chain], coord: usize) -> Vec<Vec<f64>> {
+    chains
+        .iter()
+        .filter(|c| !c.is_empty() && coord < c.dim())
+        .map(|c| c.column(coord))
+        .collect()
+}
+
+/// Bulk ESS of one coordinate: the ESS of the rank-normalized draws,
+/// summed across chains (per-chain Geyer estimates — the standard
+/// multi-chain approximation). Robust to heavy tails because ranks are
+/// bounded. `NaN` when no chain carries the coordinate.
+pub fn ess_bulk(chains: &[Chain], coord: usize) -> f64 {
+    let mut cols = columns(chains, coord);
+    if cols.is_empty() {
+        return f64::NAN;
+    }
+    rank_normalize(&mut cols);
+    cols.iter().map(|c| effective_sample_size(c)).sum()
+}
+
+/// Tail ESS of one coordinate: the smaller of the ESS of the 5 % and
+/// 95 % pooled-quantile indicator sequences `I(x ≤ q05)` / `I(x ≥ q95)`,
+/// each summed across chains. Low tail ESS flags chains whose extremes
+/// mix much more slowly than their bulk (interval estimates untrustworthy
+/// even when the bulk looks healthy). `NaN` when no chain carries the
+/// coordinate.
+pub fn ess_tail(chains: &[Chain], coord: usize) -> f64 {
+    let cols = columns(chains, coord);
+    if cols.is_empty() {
+        return f64::NAN;
+    }
+    let q05 = pooled_quantile(&cols, 0.05);
+    let q95 = pooled_quantile(&cols, 0.95);
+    let indicator_ess = |lower: bool, cut: f64| -> f64 {
+        cols.iter()
+            .map(|c| {
+                let ind: Vec<f64> = c
+                    .iter()
+                    .map(|&x| {
+                        let hit = if lower { x <= cut } else { x >= cut };
+                        if hit {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                effective_sample_size(&ind)
+            })
+            .sum()
+    };
+    indicator_ess(true, q05).min(indicator_ess(false, q95))
+}
+
+/// Smallest bulk ESS across all coordinates (`NaN` for no draws or a
+/// zero-dimension chain, mirroring [`min_ess`]).
+pub fn min_ess_bulk(chains: &[Chain]) -> f64 {
+    let dim = chains.first().map(Chain::dim).unwrap_or(0);
+    if dim == 0 || chains.iter().all(Chain::is_empty) {
+        return f64::NAN;
+    }
+    (0..dim)
+        .map(|i| ess_bulk(chains, i))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Smallest tail ESS across all coordinates (`NaN` for no draws or a
+/// zero-dimension chain).
+pub fn min_ess_tail(chains: &[Chain]) -> f64 {
+    let dim = chains.first().map(Chain::dim).unwrap_or(0);
+    if dim == 0 || chains.iter().all(Chain::is_empty) {
+        return f64::NAN;
+    }
+    (0..dim)
+        .map(|i| ess_tail(chains, i))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// E-BFMI — the energy Bayesian fraction of missing information of one
+/// chain's HMC energy series: `Σ (E_i − E_{i−1})² / Σ (E_i − Ē)²`
+/// (Betancourt 2016). Momentum resampling that matches the marginal
+/// energy distribution gives values near 1–2; values below ~0.3 mean
+/// the sampler cannot traverse the energy set and tail estimates are
+/// biased. `NaN` for fewer than 2 energies, any non-finite energy, or a
+/// constant series.
+pub fn e_bfmi(energies: &[f64]) -> f64 {
+    if energies.len() < 2 || energies.iter().any(|e| !e.is_finite()) {
+        return f64::NAN;
+    }
+    let n = energies.len() as f64;
+    let mean = energies.iter().sum::<f64>() / n;
+    let denom: f64 = energies.iter().map(|e| (e - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return f64::NAN;
+    }
+    let num: f64 = energies.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
+    num / denom
 }
 
 /// Worst split-R̂ over all coordinates.
@@ -345,6 +617,177 @@ mod tests {
         // Chains too short for any split: every coordinate R̂ is NaN.
         let short = chain_of(vec![vec![1.0], vec![2.0]]);
         assert!(max_r_hat(&[short]).is_nan());
+    }
+
+    #[test]
+    fn rank_rhat_near_one_for_same_distribution() {
+        let mut rng = SimRng::new(21);
+        let chains: Vec<Chain> = (0..4)
+            .map(|_| chain_of((0..1000).map(|_| vec![rng.gaussian()]).collect()))
+            .collect();
+        let r = rank_normalized_split_r_hat(&chains, 0);
+        assert!((r - 1.0).abs() < 0.03, "rank rhat={r}");
+    }
+
+    #[test]
+    fn rank_rhat_large_for_shifted_chains() {
+        let mut rng = SimRng::new(22);
+        let a = chain_of((0..500).map(|_| vec![rng.gaussian()]).collect());
+        let b = chain_of((0..500).map(|_| vec![5.0 + rng.gaussian()]).collect());
+        let r = rank_normalized_split_r_hat(&[a, b], 0);
+        assert!(r > 1.5, "rank rhat={r}");
+    }
+
+    #[test]
+    fn folded_rank_rhat_catches_scale_disagreement_classic_misses() {
+        // Two chains with identical location but 5× different spread:
+        // classic split-R̂ compares half means, which agree, so it sits
+        // near 1 — falsely converged. The folded rank statistic ranks
+        // |x − median| and must flag the disagreement.
+        let mut rng = SimRng::new(23);
+        let a = chain_of((0..800).map(|_| vec![rng.gaussian()]).collect());
+        let b = chain_of((0..800).map(|_| vec![5.0 * rng.gaussian()]).collect());
+        let chains = [a, b];
+        let classic = split_r_hat(&chains, 0);
+        let rank = rank_normalized_split_r_hat(&chains, 0);
+        assert!(classic < 1.05, "classic rhat={classic}");
+        assert!(rank > 1.2, "folded rank rhat={rank}");
+    }
+
+    #[test]
+    fn rank_rhat_robust_to_heavy_tails() {
+        // Cauchy-like draws (ratio of normals): classic R̂ is dominated
+        // by whichever chain caught the largest outlier; the rank version
+        // stays near 1 for same-distribution chains.
+        let mut rng = SimRng::new(24);
+        let mut cauchy = || {
+            let d: f64 = rng.gaussian();
+            rng.gaussian() / if d.abs() < 1e-12 { 1e-12 } else { d }
+        };
+        let chains: Vec<Chain> = (0..4)
+            .map(|_| chain_of((0..1000).map(|_| vec![cauchy()]).collect()))
+            .collect();
+        let r = rank_normalized_split_r_hat(&chains, 0);
+        assert!(r < 1.05, "rank rhat on heavy tails={r}");
+    }
+
+    #[test]
+    fn rank_rhat_degenerate_inputs() {
+        // Too short for any split.
+        let short = chain_of(vec![vec![1.0], vec![2.0]]);
+        assert!(rank_normalized_split_r_hat(&[short], 0).is_nan());
+        assert!(max_rank_r_hat(&[]).is_nan());
+        // Identical constant chains: all ranks tie, zero within-variance,
+        // trivially converged.
+        let a = chain_of(vec![vec![0.5]; 20]);
+        let b = chain_of(vec![vec![0.5]; 20]);
+        assert_eq!(rank_normalized_split_r_hat(&[a, b], 0), 1.0);
+    }
+
+    #[test]
+    fn max_rank_rhat_takes_worst_coordinate() {
+        let mut rng = SimRng::new(25);
+        // Coordinate 0 agrees across chains, coordinate 1 is shifted.
+        let a = chain_of(
+            (0..400)
+                .map(|_| vec![rng.gaussian(), rng.gaussian()])
+                .collect(),
+        );
+        let b = chain_of(
+            (0..400)
+                .map(|_| vec![rng.gaussian(), 4.0 + rng.gaussian()])
+                .collect(),
+        );
+        let chains = [a, b];
+        let worst = max_rank_r_hat(&chains);
+        let c0 = rank_normalized_split_r_hat(&chains, 0);
+        let c1 = rank_normalized_split_r_hat(&chains, 1);
+        assert_eq!(worst, c0.max(c1));
+        assert!(worst > 1.5, "worst={worst}");
+    }
+
+    #[test]
+    fn ess_bulk_near_total_draws_for_iid() {
+        let mut rng = SimRng::new(26);
+        let chains: Vec<Chain> = (0..4)
+            .map(|_| chain_of((0..1000).map(|_| vec![rng.gaussian()]).collect()))
+            .collect();
+        let bulk = ess_bulk(&chains, 0);
+        assert!(bulk > 2500.0, "bulk ess={bulk}");
+        let tail = ess_tail(&chains, 0);
+        assert!(tail > 500.0, "tail ess={tail}");
+    }
+
+    #[test]
+    fn ess_bulk_and_tail_shrink_on_sticky_chains() {
+        let mut rng = SimRng::new(27);
+        let mut x = 0.0;
+        let chains: Vec<Chain> = (0..2)
+            .map(|_| {
+                chain_of(
+                    (0..2000)
+                        .map(|_| {
+                            x = 0.97 * x + rng.gaussian();
+                            vec![x]
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let bulk = ess_bulk(&chains, 0);
+        let tail = ess_tail(&chains, 0);
+        assert!(bulk < 600.0, "bulk ess={bulk}");
+        assert!(tail < 600.0, "tail ess={tail}");
+        assert!(bulk > 1.0 && tail >= 1.0);
+    }
+
+    #[test]
+    fn min_ess_bulk_tail_degenerate_inputs_are_nan() {
+        assert!(min_ess_bulk(&[]).is_nan());
+        assert!(min_ess_tail(&[]).is_nan());
+        let zero_dim = chain_of(vec![vec![]; 10]);
+        assert!(min_ess_bulk(std::slice::from_ref(&zero_dim)).is_nan());
+        assert!(min_ess_tail(&[zero_dim]).is_nan());
+    }
+
+    #[test]
+    fn e_bfmi_separates_healthy_from_sticky_energies() {
+        let mut rng = SimRng::new(28);
+        // Independent energy draws: E-BFMI concentrates near 2.
+        let white: Vec<f64> = (0..4000).map(|_| rng.gaussian()).collect();
+        let healthy = e_bfmi(&white);
+        assert!((healthy - 2.0).abs() < 0.25, "white-noise e-bfmi={healthy}");
+        // A slow random walk barely changes energy step to step.
+        let mut x = 0.0;
+        let walk: Vec<f64> = (0..4000)
+            .map(|_| {
+                x += 0.05 * rng.gaussian();
+                x
+            })
+            .collect();
+        let sticky = e_bfmi(&walk);
+        assert!(sticky < 0.3, "random-walk e-bfmi={sticky}");
+    }
+
+    #[test]
+    fn e_bfmi_degenerate_inputs_are_nan() {
+        assert!(e_bfmi(&[]).is_nan());
+        assert!(e_bfmi(&[1.0]).is_nan());
+        assert!(e_bfmi(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert!(e_bfmi(&[1.0, f64::INFINITY]).is_nan());
+        assert!(e_bfmi(&[3.0; 50]).is_nan(), "constant series");
+    }
+
+    #[test]
+    fn rank_normalize_handles_ties_and_order() {
+        // Ties share the average rank; output is monotone in the input.
+        let mut seqs = vec![vec![2.0, 1.0, 2.0], vec![3.0, 1.0]];
+        rank_normalize(&mut seqs);
+        // Values 1.0 (ranks 1,2 → 1.5), 2.0 (ranks 3,4 → 3.5), 3.0 (rank 5).
+        let z = |r: f64| inv_normal_cdf((r - 0.375) / 5.25);
+        assert_eq!(seqs[0], vec![z(3.5), z(1.5), z(3.5)]);
+        assert_eq!(seqs[1], vec![z(5.0), z(1.5)]);
+        assert!(seqs[1][0] > seqs[0][0] && seqs[0][0] > seqs[0][1]);
     }
 
     #[test]

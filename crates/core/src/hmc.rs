@@ -56,6 +56,9 @@ pub struct Hmc<'a> {
     divergences: u64,
     /// Likelihood eval+grad pairs computed (one per leapfrog step).
     evals: u64,
+    /// Total energy `H = −log π + kinetic` at the start of the most
+    /// recent trajectory — the series the E-BFMI diagnostic needs.
+    last_energy: f64,
     // Scratch buffers.
     scratch_p: Vec<f64>,
     scratch_grad_p: Vec<f64>,
@@ -87,6 +90,7 @@ impl<'a> Hmc<'a> {
             proposed: 0,
             divergences: 0,
             evals: 0,
+            last_energy: f64::NAN,
             scratch_p: vec![0.0; n],
             scratch_grad_p: vec![0.0; n],
         };
@@ -161,6 +165,7 @@ impl Sampler for Hmc<'_> {
         let mut r: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
         let kinetic0: f64 = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
         let h0 = -self.log_post + kinetic0;
+        self.last_energy = h0;
 
         // Leapfrog trajectory.
         let mut theta = self.theta.clone();
@@ -254,6 +259,10 @@ impl Sampler for Hmc<'_> {
         // eval and grad always run as a pair in `log_post_and_grad`.
         self.evals
     }
+
+    fn energy(&self) -> f64 {
+        self.last_energy
+    }
 }
 
 impl Checkpointable for Hmc<'_> {
@@ -273,6 +282,7 @@ impl Checkpointable for Hmc<'_> {
         w.u64(self.proposed);
         w.u64(self.divergences);
         w.u64(self.evals);
+        w.f64(self.last_energy);
     }
 
     fn restore_sampler(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
@@ -300,6 +310,7 @@ impl Checkpointable for Hmc<'_> {
         self.proposed = r.u64()?;
         self.divergences = r.u64()?;
         self.evals = r.u64()?;
+        self.last_energy = r.f64()?;
         if self.grad_theta.len() != n || self.leapfrog_steps == 0 {
             return Err(CheckpointError::Mismatch(
                 "HMC trajectory state inconsistent with dimension".into(),
@@ -501,6 +512,32 @@ mod tests {
                 "prefix {cut} restored without error"
             );
         }
+    }
+
+    #[test]
+    fn records_finite_energies_with_healthy_e_bfmi() {
+        let d = data(&[(&[1, 2], true), (&[2, 3], false), (&[3], true)], 10);
+        let mut rng = SimRng::new(33);
+        let s = Hmc::from_prior(&d, Prior::default(), &mut rng);
+        let chain = run_chain(
+            s,
+            &ChainConfig {
+                warmup: 300,
+                samples: 500,
+                thin: 1,
+            },
+            &mut rng,
+        );
+        assert_eq!(chain.energies().len(), chain.len());
+        assert!(
+            chain.energies().iter().all(|e| e.is_finite()),
+            "every HMC draw carries a finite trajectory energy"
+        );
+        let bfmi = crate::diagnostics::e_bfmi(chain.energies());
+        assert!(
+            bfmi.is_finite() && bfmi > 0.3,
+            "fresh Gaussian momentum each trajectory must give healthy E-BFMI, got {bfmi}"
+        );
     }
 
     #[test]

@@ -89,6 +89,72 @@ pub fn ln_beta(a: f64, b: f64) -> f64 {
     ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
 }
 
+/// Inverse of the standard normal CDF, `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's rational approximation (relative error < 1.15e-9 across the
+/// full domain), used by the rank-normalization step of the modern
+/// convergence diagnostics. Returns `±∞` at the boundaries and `NaN`
+/// outside `[0, 1]`.
+pub fn inv_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e1,
+        2.209460984245205e2,
+        -2.759285104469687e2,
+        1.38357751867269e2,
+        -3.066479806614716e1,
+        2.506628277459239e0,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e1,
+        1.615858368580409e2,
+        -1.556989798598866e2,
+        6.680131188771972e1,
+        -1.328068155288572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-3,
+        -3.223964580411365e-1,
+        -2.400758277161838e0,
+        -2.549732539343734e0,
+        4.374664141464968e0,
+        2.938163982698783e0,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-3,
+        3.224671290700398e-1,
+        2.445134137142996e0,
+        3.754408661907416e0,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail, by symmetry.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +234,44 @@ mod tests {
             let rhs = x.ln() + ln_gamma(x);
             assert!((lhs - rhs).abs() < 1e-9, "x={x}");
         }
+    }
+
+    #[test]
+    fn inv_normal_cdf_known_quantiles() {
+        // Reference values from the standard normal tables.
+        let cases = [
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0), // Φ(1)
+            (0.9772498680518208, 2.0), // Φ(2)
+            (0.05, -1.6448536269514722),
+            (0.975, 1.959963984540054),
+            (0.001, -3.090232306167813),
+        ];
+        for (p, z) in cases {
+            let got = inv_normal_cdf(p);
+            assert!((got - z).abs() < 2e-8, "p={p}: got {got}, want {z}");
+        }
+    }
+
+    #[test]
+    fn inv_normal_cdf_symmetry_and_edges() {
+        for &p in &[0.001, 0.024, 0.3, 0.49] {
+            let lo = inv_normal_cdf(p);
+            let hi = inv_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-9, "p={p}: {lo} vs {hi}");
+        }
+        // Monotone across the branch boundaries at p = 0.02425.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let z = inv_normal_cdf(i as f64 / 1000.0);
+            assert!(z > prev, "not monotone at p={}", i as f64 / 1000.0);
+            prev = z;
+        }
+        assert_eq!(inv_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_normal_cdf(1.0), f64::INFINITY);
+        assert!(inv_normal_cdf(-0.1).is_nan());
+        assert!(inv_normal_cdf(1.1).is_nan());
+        assert!(inv_normal_cdf(f64::NAN).is_nan());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   `--progress [every-n]` flag of the experiment binaries;
 //! * [`TraceProgress`] — records the same snapshots as wall-clock
 //!   counter events in an owned [`obs::TraceBuffer`], one lane per
-//!   chain, for the Chrome-trace export.
+//!   chain, for the Chrome-trace export;
+//! * [`ServeProgress`] — publishes the same snapshots to the
+//!   process-global [`obs::serve`] endpoint (the `--serve <addr>` flag),
+//!   feeding the live `/metrics` and `/progress` views.
 //!
 //! The unobserved path uses [`NoProgress`], whose `every()` of 0 lets
 //! the driver skip every per-iteration check after one branch — the
@@ -223,6 +226,67 @@ impl ProgressObserver for TraceProgress {
     fn end_phase(&mut self, chain_index: usize, _kind: SamplerKind, phase: ChainPhase) {
         let lane = self.lane(chain_index);
         self.buf.end_wall(phase.name(), lane);
+    }
+}
+
+/// Publishes snapshots to the process-global [`obs::serve`] endpoint:
+/// each one updates the `/progress` chain table and the standard
+/// registry metrics (`repro_draws`, `repro_accept_rate`,
+/// `repro_split_r_hat`, …) scraped at `/metrics`.
+///
+/// Observation never touches the RNG, and when no endpoint is installed
+/// [`ServeProgress::installed`] returns `None` — the driver then runs
+/// the unobserved (zero-cost) path.
+pub struct ServeProgress {
+    every: usize,
+    state: &'static std::sync::Arc<obs::serve::ServeState>,
+}
+
+impl std::fmt::Debug for ServeProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeProgress")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeProgress {
+    /// An observer posting every `every` iterations to the installed
+    /// endpoint, or `None` when no [`obs::serve::install`] happened in
+    /// this process.
+    pub fn installed(every: usize) -> Option<ServeProgress> {
+        obs::serve::installed().map(|state| ServeProgress {
+            every: every.max(1),
+            state,
+        })
+    }
+}
+
+impl ProgressObserver for ServeProgress {
+    fn every(&self) -> usize {
+        self.every
+    }
+
+    fn observe(&mut self, s: &ProgressSnapshot) {
+        self.state.record_progress(obs::serve::ChainProgress {
+            kernel: s.kind.name(),
+            chain_index: s.chain_index,
+            phase: s.phase.name(),
+            iteration: s.iteration,
+            total: s.total,
+            accept_rate: s.accept_rate,
+            divergences: s.divergences,
+            split_r_hat: s.split_r_hat,
+            min_ess: s.min_ess,
+        });
+    }
+
+    fn end_phase(&mut self, chain_index: usize, kind: SamplerKind, phase: ChainPhase) {
+        // Flip the chain's `/progress` row to "done" when sampling closes
+        // so a finished chain is not reported mid-flight forever.
+        if phase == ChainPhase::Sampling {
+            self.state.mark_done(kind.name(), chain_index);
+        }
     }
 }
 

@@ -206,6 +206,8 @@ fn write_checkpoint<S: Checkpointable>(
     }
     w.usize(chain.dim());
     w.f64_slice(chain.flat());
+    w.f64_slice(chain.energies());
+    w.usize_slice(chain.divergent_draws());
     sampler.save_sampler(&mut w);
     checkpoint::write_frame(&chain_file(base, tag, chain_index), w.as_bytes())
 }
@@ -258,6 +260,19 @@ fn restore_checkpoint<S: Checkpointable>(
             flat.len()
         )));
     }
+    let energies = r.f64_vec()?;
+    if energies.len() != samples_done {
+        return Err(mismatch(format!(
+            "checkpoint holds {} energies for {samples_done} draws",
+            energies.len()
+        )));
+    }
+    let divergent = r.usize_vec()?;
+    if divergent.iter().any(|&s| s >= samples_done) {
+        return Err(mismatch(
+            "divergent draw index beyond collected draws".into(),
+        ));
+    }
     sampler.restore_sampler(&mut r)?;
     if r.remaining() != 0 {
         return Err(mismatch(format!("{} unread payload bytes", r.remaining())));
@@ -266,6 +281,7 @@ fn restore_checkpoint<S: Checkpointable>(
     for i in 0..samples_done {
         chain.push_row(&flat[i * dim..(i + 1) * dim]);
     }
+    chain.set_draw_meta(energies, divergent);
     Ok(samples_done)
 }
 
@@ -361,6 +377,10 @@ fn run_one<S: Checkpointable, O: ProgressObserver>(
             }
         }
     }
+    // Divergence watermark, as in `run_chain_observed`. After a resume
+    // the restored kernel counters make this bit-exact with the
+    // uninterrupted run.
+    let mut prev_div = sampler.divergences();
     for s in start_draw..config.samples {
         if let Some(d) = deadline {
             if std::time::Instant::now() > d {
@@ -390,6 +410,12 @@ fn run_one<S: Checkpointable, O: ProgressObserver>(
             sampler.step(rng);
         }
         chain.push_row(sampler.state());
+        chain.energies.push(sampler.energy());
+        let div = sampler.divergences();
+        if div != prev_div {
+            chain.divergent_draws.push(s);
+            prev_div = div;
+        }
         if every > 0 {
             let n = (s + 1) as f64;
             for (m, &x) in means.iter_mut().zip(sampler.state()) {
@@ -656,6 +682,11 @@ mod tests {
             assert_eq!(chain.accept_rate, u.accept_rate);
             assert_eq!(chain.proposals, u.proposals);
             assert_eq!(chain.likelihood_evals, u.likelihood_evals);
+            // Per-draw metadata survives the round trip bit for bit
+            // (bitwise compare: MH energies are NaN, which != itself).
+            let bits = |c: &Chain| c.energies().iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(chain), bits(u), "resumed chain {k} energies differ");
+            assert_eq!(chain.divergent_draws(), u.divergent_draws());
         }
         cleanup(&base, "mh", 2);
     }

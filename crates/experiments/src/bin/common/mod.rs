@@ -13,7 +13,8 @@
 //!
 //! * `--report-json <path>` (or `--report-json=<path>`, or the
 //!   `REPRO_REPORT_JSON` environment variable) — write the run report
-//!   as JSON to `path`;
+//!   as JSON to `path`; the special path `-` streams the JSON to stdout
+//!   after the figure/table output;
 //! * `--report` — print the run report as text to stdout after the
 //!   figure/table output (kept off the default path so existing output
 //!   stays byte-for-byte diffable);
@@ -23,7 +24,16 @@
 //!   to `path`;
 //! * `--progress [every-n]` — stream per-chain sampler diagnostics
 //!   (accept rate, incremental split-R̂/min-ESS) to stderr every `n`
-//!   iterations (default 200).
+//!   iterations (default 200);
+//! * `--serve <addr>` (or `REPRO_SERVE`) — serve live diagnostics over
+//!   HTTP while the run executes: `GET /metrics` (Prometheus text
+//!   exposition), `/progress` (per-chain table), `/report` (run report
+//!   JSON so far), `/healthz`. `REPRO_SERVE_LINGER_SECS=<n>` keeps the
+//!   endpoint up `n` seconds after the run finishes, for scrapes;
+//! * `--dash <path>` (or `REPRO_DASH`) — write a self-contained HTML
+//!   diagnostics dashboard (trace plots with divergence ticks, marginal
+//!   histograms with HPDI bands, R̂/ESS table, E-BFMI, fault/coverage
+//!   sections, phase waterfall) when the run finishes.
 //!
 //! Robustness flags (all off by default — the default run is
 //! byte-identical to a build without them):
@@ -110,9 +120,15 @@ pub fn experiment(interval_mins: u64, seed: u64) -> ExperimentConfig {
     cfg.topology = topology_config(seed);
     cfg.cycles = cycles();
     cfg.break_duration = SimDuration::from_hours(2);
-    cfg.trace = trace_path().is_some();
+    cfg.trace = trace_armed();
     cfg.faults = faults_spec();
     cfg
+}
+
+/// True when a trace buffer should record: `--trace` wants the Chrome
+/// export, `--dash` wants the phase-span waterfall.
+fn trace_armed() -> bool {
+    trace_path().is_some() || dash_path().is_some()
 }
 
 /// Analysis settings matched to the scale.
@@ -140,7 +156,7 @@ pub fn analysis_config(seed: u64) -> AnalysisConfig {
         n_chains: 2,
         seed,
         progress_every: progress_every(),
-        trace: trace_path().is_some(),
+        trace: trace_armed(),
         ..Default::default()
     }
 }
@@ -188,6 +204,20 @@ pub fn report_requested() -> bool {
 /// `--trace=<path>`, or the `REPRO_TRACE` variable.
 pub fn trace_path() -> Option<std::path::PathBuf> {
     flag_or_env("trace", "REPRO_TRACE").map(std::path::PathBuf::from)
+}
+
+/// The `--serve` listen address, if any: `--serve <addr>`,
+/// `--serve=<addr>`, or the `REPRO_SERVE` variable
+/// (e.g. `127.0.0.1:9184`, or `127.0.0.1:0` for an ephemeral port).
+pub fn serve_addr() -> Option<String> {
+    flag_or_env("serve", "REPRO_SERVE")
+}
+
+/// The `--dash` destination, if any: `--dash <path>`, `--dash=<path>`,
+/// or the `REPRO_DASH` variable — write the single-file HTML diagnostics
+/// dashboard there when the run finishes.
+pub fn dash_path() -> Option<std::path::PathBuf> {
+    flag_or_env("dash", "REPRO_DASH").map(std::path::PathBuf::from)
 }
 
 /// The fault plan spec from `--faults <spec>` / `REPRO_FAULTS`, if any.
@@ -263,26 +293,58 @@ pub fn progress_every() -> usize {
 /// (campaign reports, analysis sections), and call [`Reporter::emit`] as
 /// the last statement of `main`. The total wall-clock of the binary is
 /// recorded automatically as `main.total_secs`.
+///
+/// With `--serve <addr>`, construction starts the [`obs::serve`]
+/// endpoint (`/metrics`, `/progress`, `/report`, `/healthz`) and
+/// installs its state process-globally, so sampler progress streams to
+/// `/metrics` while chains run and `/report` tracks each merge. With
+/// `--dash <path>`, [`Reporter::emit`] writes the single-file HTML
+/// diagnostics dashboard (populate its chain sections first with
+/// [`Reporter::dash_inference`]). Both off → every path below is dead
+/// and the binary's stdout is byte-identical to a flagless build.
 pub struct Reporter {
+    name: String,
     report: obs::RunReport,
     started: obs::Stopwatch,
-    trace: Option<(std::path::PathBuf, obs::TraceBuffer)>,
+    trace: Option<obs::TraceBuffer>,
+    dash: Option<(std::path::PathBuf, obs::html::Dashboard)>,
+    server: Option<obs::serve::Server>,
 }
 
 impl Reporter {
-    /// A reporter for the named binary. When `--trace` is set, a master
-    /// trace buffer is opened; merge layer traces into it with
-    /// [`Reporter::merge_trace`] and [`Reporter::emit`] writes the
-    /// Chrome trace file.
+    /// A reporter for the named binary. When `--trace` or `--dash` is
+    /// set, a master trace buffer is opened; merge layer traces into it
+    /// with [`Reporter::merge_trace`]. [`Reporter::emit`] writes the
+    /// Chrome trace file (under `--trace`) and the dashboard (under
+    /// `--dash`). When `--serve` is set, the HTTP endpoint starts here.
     pub fn new(name: &str) -> Reporter {
+        let server = serve_addr().and_then(|addr| {
+            let state = obs::serve::install(std::sync::Arc::new(obs::serve::ServeState::new(
+                obs::Registry::new(),
+            )));
+            match obs::serve::Server::start(&addr, state.clone()) {
+                Ok(s) => {
+                    eprintln!("serving diagnostics on http://{}/", s.local_addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("failed to serve on {addr}: {e}");
+                    None
+                }
+            }
+        });
         Reporter {
+            name: name.to_string(),
             report: obs::RunReport::new(name),
             started: obs::Stopwatch::start(),
-            trace: trace_path().map(|p| (p, obs::TraceBuffer::new(1 << 17))),
+            trace: (trace_path().is_some() || dash_path().is_some())
+                .then(|| obs::TraceBuffer::new(1 << 17)),
+            dash: dash_path().map(|p| (p, obs::html::Dashboard::new(name))),
+            server,
         }
     }
 
-    /// True when `--trace` was requested.
+    /// True when a master trace buffer records (`--trace` or `--dash`).
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
     }
@@ -291,7 +353,7 @@ impl Reporter {
     /// trace) into the master buffer. A no-op when tracing is off or the
     /// layer produced nothing, so call sites stay unconditional.
     pub fn merge_trace(&mut self, layer: Option<obs::TraceBuffer>) {
-        if let (Some((_, master)), Some(buf)) = (self.trace.as_mut(), layer) {
+        if let (Some(master), Some(buf)) = (self.trace.as_mut(), layer) {
             master.merge(buf);
         }
     }
@@ -304,36 +366,111 @@ impl Reporter {
     /// Merge another report's sections (e.g. a campaign's).
     pub fn merge(&mut self, other: obs::RunReport) {
         self.report.merge(other);
+        self.publish_live();
     }
 
     /// Merge with a prefix on every section name — for binaries that run
     /// several campaigns (`"interval_1.netsim.queue"`, …).
     pub fn merge_prefixed(&mut self, other: obs::RunReport, prefix: &str) {
         self.report.merge_prefixed(other, prefix);
+        self.publish_live();
+    }
+
+    /// Populate the dashboard's chain sections (trace plots, marginals,
+    /// diagnostics table, E-BFMI) from an inference run. A no-op without
+    /// `--dash`. Binaries that run several inferences show the last one
+    /// passed here.
+    pub fn dash_inference(&mut self, inf: &experiments::InferenceOutput) {
+        if let Some((path, _)) = self.dash.take() {
+            self.dash = Some((path, experiments::dash::build(&self.name, inf)));
+        }
+        self.publish_live();
+    }
+
+    /// [`Reporter::dash_inference`] for binaries that run a bare
+    /// [`because::Analysis`] without the full pipeline.
+    pub fn dash_analysis(&mut self, analysis: &because::Analysis) {
+        if let Some((path, _)) = self.dash.take() {
+            self.dash = Some((
+                path,
+                experiments::dash::build_analysis(&self.name, analysis),
+            ));
+        }
+        self.publish_live();
+    }
+
+    /// Push the report-so-far to the `/report` endpoint, if one is up.
+    fn publish_live(&self) {
+        if self.server.is_some() {
+            if let Some(state) = obs::serve::installed() {
+                state.publish_report_json(self.report.to_json());
+            }
+        }
     }
 
     /// Record the total runtime, then write JSON and/or print text as
-    /// requested. Silent (stderr note aside) on the default path.
+    /// requested, write the dashboard, and (under
+    /// `REPRO_SERVE_LINGER_SECS`) keep the endpoint up for scrapes
+    /// before shutting it down. Silent (stderr notes aside) on the
+    /// default path.
     pub fn emit(mut self) {
         self.report
             .section("main")
             .span_secs("total_secs", self.started.elapsed_secs());
-        if let Some((path, trace)) = self.trace.take() {
+        let trace = self.trace.take();
+        if let Some(trace) = trace.as_ref() {
             trace.export_into(self.report.section("trace"));
-            match trace.write_chrome_json(&path) {
-                Ok(()) => eprintln!("trace written to {}", path.display()),
-                Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+            if let Some(path) = trace_path() {
+                match trace.write_chrome_json(&path) {
+                    Ok(()) => eprintln!("trace written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+                }
             }
         }
         if let Some(path) = report_json_path() {
-            match self.report.write_json(&path) {
-                Ok(()) => eprintln!("report written to {}", path.display()),
-                Err(e) => eprintln!("failed to write report {}: {e}", path.display()),
+            if path.as_os_str() == "-" {
+                // `--report-json -`: stream the JSON to stdout after the
+                // figure/table output.
+                println!();
+                println!("{}", self.report.to_json());
+            } else {
+                match self.report.write_json(&path) {
+                    Ok(()) => eprintln!("report written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write report {}: {e}", path.display()),
+                }
             }
         }
         if report_requested() {
             println!();
             print!("{}", self.report.to_text());
+        }
+        if let Some((path, mut dash)) = self.dash.take() {
+            for bar in trace
+                .as_ref()
+                .map(obs::html::spans_from_trace)
+                .unwrap_or_default()
+            {
+                dash.push_span(bar);
+            }
+            dash.set_report(&self.report);
+            match dash.write(&path) {
+                Ok(()) => eprintln!("dashboard written to {}", path.display()),
+                Err(e) => eprintln!("failed to write dashboard {}: {e}", path.display()),
+            }
+        }
+        self.publish_live();
+        if let Some(server) = self.server.take() {
+            if let Some(secs) = std::env::var("REPRO_SERVE_LINGER_SECS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                eprintln!(
+                    "serving for {secs}s more on http://{}/",
+                    server.local_addr()
+                );
+                std::thread::sleep(Duration::from_secs(secs));
+            }
+            server.shutdown();
         }
     }
 }

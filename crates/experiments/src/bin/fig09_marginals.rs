@@ -61,6 +61,7 @@ fn main() {
     );
     let analysis = &inf.analysis;
     inf.export_obs(reporter.report_mut());
+    reporter.dash_inference(&inf);
     reporter.merge_trace(analysis.trace.clone());
     let pooled = Chain::pooled(&analysis.hmc_chains);
 

@@ -28,6 +28,7 @@ fn main() {
     );
     inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
+    reporter.dash_inference(&inf);
 
     println!("as\tmean\tcertainty\tcategory\tinconsistent");
     for r in &inf.analysis.reports {

@@ -63,6 +63,9 @@ fn main() {
         reporter.merge_prefixed(out.report.clone(), &format!("interval_{mins}"));
         reporter.merge_trace(out.trace.clone());
         reporter.merge_trace(inf.analysis.trace.clone());
+        // Several inferences share the run: the dashboard shows the last
+        // interval's chains.
+        reporter.dash_inference(&inf);
         eprintln!(
             "  interval {mins} min done ({} labeled paths)",
             out.labels.len()

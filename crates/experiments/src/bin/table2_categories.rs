@@ -30,6 +30,7 @@ fn main() {
     );
     inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
+    reporter.dash_inference(&inf);
 
     let counts = inf.analysis.category_counts();
     let shares = inf.analysis.category_shares();

@@ -111,6 +111,8 @@ fn run_case(
     let analysis =
         because::Analysis::run_supervised(&data, &acfg, &common::supervisor_config_tagged(tag));
     reporter.merge_trace(analysis.trace.clone());
+    // Three micro-scenarios share the run: the dashboard shows the last.
+    reporter.dash_analysis(&analysis);
     let because_flag = analysis
         .report(NodeId(target.0))
         .map(|r| r.is_property())

@@ -34,6 +34,7 @@ fn main() {
     );
     inf.export_obs(reporter.report_mut());
     reporter.merge_trace(inf.analysis.trace.clone());
+    reporter.dash_inference(&inf);
     let interval = SimDuration::from_mins(1);
     let because_eval = evaluate_against_oracle(&out, &inf.because_flagged(), interval);
     let heuristics_eval = evaluate_against_oracle(&out, &inf.heuristics_flagged(), interval);

@@ -19,8 +19,11 @@
 //! 5. [`report`] renders aligned text tables for the per-figure binaries
 //!    (`src/bin/fig*.rs`, `src/bin/table*.rs`), each of which regenerates
 //!    one table or figure of the paper.
+//! 6. [`dash`] assembles the single-file HTML diagnostics dashboard
+//!    (`--dash <path>` on any binary) from an inference run.
 
 pub mod coverage;
+pub mod dash;
 pub mod deployment;
 pub mod infer;
 pub mod metrics;

@@ -25,6 +25,12 @@
 //!   dumps. Aggregates say *how much*, the trace says *when*.
 //! * [`write_atomic`] — temp-file-plus-rename artifact writes, so an
 //!   interrupted run never leaves truncated JSON behind.
+//! * [`serve`] — a std::net-only HTTP endpoint (`--serve <addr>`)
+//!   exposing the live [`Registry`] as Prometheus text exposition at
+//!   `/metrics`, plus `/progress`, `/report`, and `/healthz`.
+//! * [`html`] — the self-contained single-file dashboard (`--dash
+//!   <path>`): hand-rolled SVG trace plots, marginals, and diagnostics
+//!   tables with zero external assets.
 //!
 //! ## Naming conventions
 //!
@@ -40,10 +46,12 @@
 //! benchmarks (see `BENCH_0002_obs_overhead.json` at the repo root and
 //! the `obs_overhead` bench for the per-primitive costs).
 
+pub mod html;
 pub mod json;
 mod metrics;
 mod registry;
 mod report;
+pub mod serve;
 mod span;
 pub mod trace;
 mod write;

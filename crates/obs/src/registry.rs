@@ -151,19 +151,55 @@ impl Registry {
             section.gauge(metric, f64::from_bits(cell.load(Ordering::Relaxed)));
         }
         for (metric, h) in &self.histograms {
-            // Atomic histograms track buckets, count, and sum; per-sample
-            // min/max would need extra CAS traffic, so they stay NaN here.
-            let snap = crate::HistogramSnapshot {
-                bounds: h.bounds.to_vec(),
-                counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-                count: h.count.load(Ordering::Relaxed),
-                sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
-                min: f64::NAN,
-                max: f64::NAN,
-            };
-            section.histogram_snapshot(metric, snap);
+            section.histogram_snapshot(metric, h.snapshot());
         }
         section
+    }
+
+    /// Render every metric in Prometheus text exposition format
+    /// (version 0.0.4) under `<prefix>_`: counters and gauges as single
+    /// samples, histograms as cumulative `_bucket`/`_sum`/`_count`
+    /// families plus interpolated `_p50`/`_p90`/`_p99` gauges. Names are
+    /// sanitized via [`crate::serve::prometheus_name`].
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (metric, cell) in &self.counters {
+            let name = crate::serve::prometheus_name(prefix, metric);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+        }
+        for (metric, cell) in &self.gauges {
+            let name = crate::serve::prometheus_name(prefix, metric);
+            let v = f64::from_bits(cell.load(Ordering::Relaxed));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", crate::serve::prometheus_f64(v));
+        }
+        for (metric, h) in &self.histograms {
+            let name = crate::serve::prometheus_name(prefix, metric);
+            crate::serve::prometheus_histogram(&mut out, &name, &h.snapshot());
+        }
+        out
+    }
+}
+
+impl AtomicHistogram {
+    /// A consistent-enough relaxed snapshot (see the ordering contract
+    /// on [`Registry::record`]). Per-sample min/max would need extra CAS
+    /// traffic, so they stay NaN here.
+    fn snapshot(&self) -> crate::HistogramSnapshot {
+        crate::HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::NAN,
+            max: f64::NAN,
+        }
     }
 }
 
@@ -211,6 +247,29 @@ mod tests {
             other => panic!("expected histogram, got {other:?}"),
         };
         assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let mut reg = Registry::new();
+        let c = reg.counter("events");
+        let g = reg.gauge("depth.high");
+        let h = reg.histogram("delay", &[1.0, 10.0]);
+        reg.add(c, 5);
+        reg.set(g, 2.5);
+        reg.record(h, 0.5);
+        reg.record(h, 3.0);
+        reg.record(h, 99.0);
+        let text = reg.to_prometheus("repro");
+        assert!(text.contains("# TYPE repro_events counter\nrepro_events 5\n"));
+        assert!(text.contains("# TYPE repro_depth_high gauge\nrepro_depth_high 2.5\n"));
+        // Buckets are cumulative: 1, then 1+1, then the +Inf total.
+        assert!(text.contains("repro_delay_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("repro_delay_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("repro_delay_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("repro_delay_sum 102.5\n"));
+        assert!(text.contains("repro_delay_count 3\n"));
+        crate::serve::validate_exposition(&text).expect("exposition must parse");
     }
 
     #[test]

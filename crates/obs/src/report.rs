@@ -42,6 +42,43 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Interpolated quantile estimate for `0 <= q <= 1`, Prometheus
+    /// `histogram_quantile`-style: the rank `q·count` is located in the
+    /// cumulative bucket counts and interpolated linearly inside the
+    /// containing bucket. The first bucket's lower edge is the tracked
+    /// `min` when finite (else its own bound — no interpolation); the
+    /// overflow bucket's upper edge is the tracked `max` when finite
+    /// (else the estimate saturates at the last bound). `NaN` when the
+    /// histogram is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || self.bounds.is_empty() {
+            return f64::NAN;
+        }
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let rank_at_entry = below as f64;
+            below += c;
+            if (below as f64) < target || c == 0 {
+                continue;
+            }
+            let last = *self.bounds.last().expect("bounds checked non-empty");
+            let (lower, upper) = if i == 0 {
+                let b = self.bounds[0];
+                (if self.min.is_finite() { self.min } else { b }, b)
+            } else if i < self.bounds.len() {
+                (self.bounds[i - 1], self.bounds[i])
+            } else if self.max.is_finite() {
+                (last, self.max)
+            } else {
+                return last;
+            };
+            let frac = ((target - rank_at_entry) / c as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * frac;
+        }
+        f64::NAN
+    }
 }
 
 /// One metric value.
@@ -208,12 +245,15 @@ impl RunReport {
                     Value::Histogram(h) => {
                         let _ = write!(
                             out,
-                            "  {:width$}  n={} mean={} min={} max={} |",
+                            "  {:width$}  n={} mean={} min={} max={} p50={} p90={} p99={} |",
                             e.name,
                             h.count,
                             text_f64(h.mean()),
                             text_f64(h.min),
-                            text_f64(h.max)
+                            text_f64(h.max),
+                            text_f64(h.quantile(0.5)),
+                            text_f64(h.quantile(0.9)),
+                            text_f64(h.quantile(0.99))
                         );
                         for (i, c) in h.counts.iter().enumerate() {
                             match h.bounds.get(i) {
@@ -274,6 +314,12 @@ impl RunReport {
                         json_f64(&mut out, h.min);
                         out.push_str(",\"max\":");
                         json_f64(&mut out, h.max);
+                        out.push_str(",\"p50\":");
+                        json_f64(&mut out, h.quantile(0.5));
+                        out.push_str(",\"p90\":");
+                        json_f64(&mut out, h.quantile(0.9));
+                        out.push_str(",\"p99\":");
+                        json_f64(&mut out, h.quantile(0.99));
                         out.push_str(",\"buckets\":[");
                         for (k, c) in h.counts.iter().enumerate() {
                             if k > 0 {
@@ -398,15 +444,76 @@ mod tests {
         assert_eq!(
             r.to_text(),
             "== run report: empty ==\n\
-             [s]\n  idle_hist  n=0 mean=null min=null max=null | le1:0 inf:0\n"
+             [s]\n  idle_hist  n=0 mean=null min=null max=null \
+             p50=null p90=null p99=null | le1:0 inf:0\n"
         );
         assert_eq!(
             r.to_json(),
             "{\"name\":\"empty\",\"sections\":[{\"name\":\"s\",\"entries\":[\
              {\"name\":\"idle_hist\",\"kind\":\"histogram\",\"count\":0,\
              \"sum\":0,\"mean\":null,\"min\":null,\"max\":null,\
+             \"p50\":null,\"p90\":null,\"p99\":null,\
              \"buckets\":[{\"le\":1,\"count\":0},{\"le\":null,\"count\":0}]}]}]}"
         );
+    }
+
+    #[test]
+    fn single_bin_histogram_quantiles_exact_bytes() {
+        // One bound → two buckets; both samples land under the bound, so
+        // quantiles interpolate between the tracked min and the bound.
+        let mut r = RunReport::new("single");
+        let mut h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(0.75);
+        r.section("s").histogram("tiny_hist", &h);
+        assert_eq!(
+            r.to_text(),
+            "== run report: single ==\n\
+             [s]\n  tiny_hist  n=2 mean=0.625 min=0.500 max=0.750 \
+             p50=0.750 p90=0.950 p99=0.995 | le1:2 inf:0\n"
+        );
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"single\",\"sections\":[{\"name\":\"s\",\"entries\":[\
+             {\"name\":\"tiny_hist\",\"kind\":\"histogram\",\"count\":2,\
+             \"sum\":1.25,\"mean\":0.625,\"min\":0.5,\"max\":0.75,\
+             \"p50\":0.75,\"p90\":0.95,\"p99\":0.995,\
+             \"buckets\":[{\"le\":1,\"count\":2},{\"le\":null,\"count\":0}]}]}]}"
+        );
+    }
+
+    #[test]
+    fn quantile_interpolates_and_handles_edges() {
+        // 10 samples of 1..=10 against decade bounds: the interior
+        // buckets interpolate linearly, the overflow bucket saturates.
+        let mut h = Histogram::new(&[2.0, 4.0, 6.0, 8.0]);
+        for i in 1..=10 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        // target rank 5 sits halfway through the (4,6] bucket.
+        assert_eq!(s.quantile(0.5), 5.0);
+        // Overflow bucket with a finite max interpolates toward it.
+        assert!(
+            (s.quantile(0.99) - 9.9).abs() < 1e-12,
+            "{}",
+            s.quantile(0.99)
+        );
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.quantile(0.0), s.min);
+        assert!(s.quantile(-0.1).is_nan());
+        assert!(s.quantile(1.1).is_nan());
+        assert!(s.quantile(f64::NAN).is_nan());
+
+        // Registry-style snapshots have NaN min/max: the first bucket
+        // collapses to its bound and the overflow saturates at the last.
+        let untracked = HistogramSnapshot {
+            min: f64::NAN,
+            max: f64::NAN,
+            ..s.clone()
+        };
+        assert_eq!(untracked.quantile(0.05), 2.0);
+        assert_eq!(untracked.quantile(0.99), 8.0);
     }
 
     #[test]

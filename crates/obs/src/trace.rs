@@ -536,6 +536,56 @@ mod tests {
     }
 
     #[test]
+    fn merge_lane_name_collision_keeps_self_name() {
+        let epoch = Instant::now();
+        let mut a = TraceBuffer::with_epoch(8, epoch);
+        a.set_lane_name(Lane(1), "mine");
+        a.set_lane_name(Lane(3), "only in a");
+        let mut b = TraceBuffer::with_epoch(8, epoch);
+        b.set_lane_name(Lane(1), "theirs");
+        b.set_lane_name(Lane(2), "only in b");
+        a.merge(b);
+        // Colliding lane: the receiving buffer's name wins; non-colliding
+        // names from both sides survive, and no duplicate entry appears.
+        assert_eq!(a.lane_name(Lane(1)), Some("mine"));
+        assert_eq!(a.lane_name(Lane(2)), Some("only in b"));
+        assert_eq!(a.lane_name(Lane(3)), Some("only in a"));
+        assert_eq!(
+            a.lane_names.iter().filter(|(l, _)| *l == Lane(1)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn merge_dropped_accounting_sums_all_sources() {
+        let epoch = Instant::now();
+        // Receiver has its own drops (cap 2, 4 pushes → 2 dropped)...
+        let mut a = TraceBuffer::with_epoch(2, epoch);
+        sim_instants(&mut a, 4);
+        assert_eq!(a.dropped(), 2);
+        // ...the donor arrives with drops of its own (cap 3, 5 pushes)...
+        let mut b = TraceBuffer::with_epoch(3, epoch);
+        sim_instants(&mut b, 5);
+        assert_eq!(b.dropped(), 2);
+        a.merge(b);
+        // ...and replaying the donor's 3 surviving events into a full
+        // cap-2 receiver evicts 3 more: 2 + 2 + 3.
+        assert_eq!(a.dropped(), 7);
+        assert_eq!(a.len(), 2);
+        // The report counter sees pushes-ever = held + dropped.
+        let mut section = Section::new("obs.trace");
+        a.export_into(&mut section);
+        assert_eq!(
+            section.get("events_recorded"),
+            Some(&crate::Value::Counter(9))
+        );
+        assert_eq!(
+            section.get("events_dropped"),
+            Some(&crate::Value::Counter(7))
+        );
+    }
+
+    #[test]
     fn export_into_surfaces_drop_counter() {
         let mut buf = TraceBuffer::new(2);
         sim_instants(&mut buf, 5);

@@ -4,6 +4,7 @@
 # pushing to catch everything it would.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+root="$(pwd)"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -67,5 +68,104 @@ fi
 REPRO_SCALE=tiny ./target/release/fig09_marginals \
     --resume "$artifacts/fig09.ckpt" > "$artifacts/fig09.resumed.txt"
 diff "$artifacts/fig09.ref.txt" "$artifacts/fig09.resumed.txt"
+
+echo "==> golden stdout (tiny, all 14 binaries byte-identical with flags off)"
+mkdir -p "$artifacts/golden"
+for bin in appendix_b_defaults fig02_penalty_trace fig05_signature \
+    fig06_link_similarity fig07_project_overlap fig08_propagation \
+    fig09_marginals fig10_burst_hist fig11_scatter fig12_interval_share \
+    fig13_rdelta_cdf table2_categories table3_divergence \
+    table4_precision_recall; do
+    REPRO_SCALE=tiny "./target/release/$bin" > "$artifacts/golden/$bin.txt"
+done
+(cd "$artifacts/golden" && sha256sum --quiet -c "$root/tests/golden_stdout_tiny.sha256")
+
+echo "==> serve/dash smoke test (fig09 with --serve + --dash, live scrape)"
+: > "$artifacts/fig09.serve.err"
+REPRO_SCALE=tiny REPRO_SERVE_LINGER_SECS=60 ./target/release/fig09_marginals \
+    --serve 127.0.0.1:0 --dash "$artifacts/fig09.dash.html" \
+    > /dev/null 2> "$artifacts/fig09.serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(grep -o 'http://[0-9.:]*' "$artifacts/fig09.serve.err" | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "serve endpoint never announced an address" >&2; exit 1; }
+code=""
+for _ in $(seq 1 100); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$addr/healthz" || true)"
+    [ "$code" = "200" ] && break
+    sleep 0.2
+done
+[ "$code" = "200" ] || { echo "/healthz never returned 200 (got '$code')" >&2; exit 1; }
+# Wait for the run itself to finish (the dashboard is written last,
+# before the linger window), then scrape the final state.
+for _ in $(seq 1 300); do
+    [ -f "$artifacts/fig09.dash.html" ] && break
+    sleep 0.2
+done
+[ -f "$artifacts/fig09.dash.html" ] || { echo "dashboard never written" >&2; exit 1; }
+curl -s "$addr/metrics" > "$artifacts/fig09.metrics.txt"
+curl -s "$addr/progress" > "$artifacts/fig09.progress.json"
+curl -s "$addr/report" > "$artifacts/fig09.live-report.json"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+python3 - "$artifacts/fig09.metrics.txt" "$artifacts/fig09.progress.json" \
+    "$artifacts/fig09.live-report.json" "$artifacts/fig09.dash.html" <<'PY'
+import json, re, sys
+metrics_path, progress_path, report_path, dash_path = sys.argv[1:5]
+
+# Prometheus text exposition 0.0.4: TYPE lines, then samples with finite
+# or +/-Inf/NaN float values; histogram buckets must be cumulative.
+name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+seen, buckets = {}, {}
+for line in open(metrics_path):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        parts = line.split()
+        assert parts[:2] == ["#", "TYPE"] and len(parts) == 4, f"bad meta: {line}"
+        assert parts[3] in ("counter", "gauge", "histogram"), line
+        continue
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+    assert m, f"bad sample line: {line}"
+    name, labels, value = m.groups()
+    assert name_re.match(name), name
+    float(value)  # parses (inf/nan allowed by the format)
+    seen[name] = float(value)
+    if name.endswith("_bucket"):
+        buckets.setdefault(name, []).append(float(value))
+for counts in buckets.values():
+    assert counts == sorted(counts), "histogram buckets not cumulative"
+assert seen.get("repro_draws", 0) > 0, "no draws recorded at /metrics"
+assert "repro_split_r_hat" in seen, "split_r_hat gauge missing"
+
+progress = json.load(open(progress_path))
+assert progress["chains"], "empty /progress table"
+for chain in progress["chains"]:
+    assert chain["phase"] == "done", f"chain not done at scrape: {chain}"
+    assert chain["iteration"] == chain["total"], chain
+
+report = json.load(open(report_path))
+sections = {s["name"] for s in report["sections"]}
+assert "because.diagnostics" in sections, sections
+diag = next(s for s in report["sections"] if s["name"] == "because.diagnostics")
+names = {e["name"] for e in diag["entries"]}
+for want in ("max_r_hat", "max_rank_r_hat", "min_ess_bulk", "min_ess_tail"):
+    assert want in names, f"{want} missing from live report"
+
+html = open(dash_path).read()
+assert html.startswith("<!DOCTYPE html>"), "not an HTML document"
+for tag in ("html", "body", "svg", "table"):
+    assert html.count(f"<{tag}") == html.count(f"</{tag}>"), f"unbalanced <{tag}>"
+for section_id in ("summary", "diagnostics", "traces", "marginals", "report"):
+    assert f'id="{section_id}"' in html, f"#{section_id} missing"
+stripped = html.replace("http://www.w3.org/2000/svg", "")
+assert "http://" not in stripped and "https://" not in stripped, "external asset"
+print("serve/dash artifacts validated")
+PY
 
 echo "All checks passed."
